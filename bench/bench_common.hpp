@@ -1,0 +1,91 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Each bench binary regenerates one figure of the paper: it sweeps the
+// figure's x-axis, runs one simulated experiment per (x, curve) point and
+// prints a paper-style table (see workload/series.hpp). Points whose
+// run ends with undelivered messages beyond a small straggler allowance
+// are reported as saturated ("sat."), mirroring where the paper's curves
+// leave the plot.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/assert.hpp"
+#include "workload/experiment.hpp"
+#include "workload/series.hpp"
+
+namespace ibc::bench {
+
+struct SweepOptions {
+  Duration warmup = seconds(2);
+  Duration measure = seconds(8);
+  Duration drain = seconds(4);
+  std::uint64_t seed = 7;
+  /// Fraction of measured broadcasts allowed to be still in flight after
+  /// the drain before the point is declared saturated.
+  double straggler_tolerance = 0.01;
+};
+
+/// Runs one point; returns mean latency in ms, or NaN when saturated.
+inline double latency_point(std::uint32_t n, const net::NetModel& model,
+                            const abcast::StackConfig& stack,
+                            std::size_t payload_bytes, double throughput,
+                            const SweepOptions& opt = {}) {
+  workload::ExperimentConfig cfg;
+  cfg.n = n;
+  cfg.model = model;
+  cfg.stack = stack;
+  cfg.payload_bytes = payload_bytes;
+  cfg.throughput_msgs_per_sec = throughput;
+  cfg.warmup = opt.warmup;
+  cfg.measure = opt.measure;
+  cfg.drain = opt.drain;
+  cfg.seed = opt.seed;
+  const workload::ExperimentResult r = workload::run_experiment(cfg);
+  IBC_ASSERT_MSG(r.total_order_ok, "total order violated in a bench run");
+  const double undelivered_frac =
+      r.broadcasts_measured == 0
+          ? 0.0
+          : static_cast<double>(r.undelivered) /
+                static_cast<double>(r.broadcasts_measured);
+  if (undelivered_frac > opt.straggler_tolerance)
+    return workload::saturated_marker();
+  return r.mean_latency_ms;
+}
+
+/// Standard stack configurations used across the figures. The rcv cost of
+/// the indirect stacks is taken from the network model (it models the
+/// same testbed's CPU).
+inline abcast::StackConfig indirect_ct(const net::NetModel& model,
+                                       abcast::RbKind rb) {
+  abcast::StackConfig c;
+  c.variant = abcast::Variant::kIndirect;
+  c.algo = abcast::ConsensusAlgo::kCt;
+  c.rb = rb;
+  c.fd = abcast::FdKind::kHeartbeat;
+  c.indirect.rcv_check_cost_per_id = model.rcv_check_cost_per_id;
+  return c;
+}
+
+inline abcast::StackConfig msgs_ct(abcast::RbKind rb) {
+  abcast::StackConfig c;
+  c.variant = abcast::Variant::kMsgs;
+  c.algo = abcast::ConsensusAlgo::kCt;
+  c.rb = rb;
+  c.fd = abcast::FdKind::kHeartbeat;
+  return c;
+}
+
+/// Plain consensus on ids. Faulty when rb is not kUniform (§2.2); the
+/// Figure 3-4 comparison uses exactly that stack in failure-free runs.
+inline abcast::StackConfig ids_plain_ct(abcast::RbKind rb) {
+  abcast::StackConfig c;
+  c.variant = abcast::Variant::kIdsPlain;
+  c.algo = abcast::ConsensusAlgo::kCt;
+  c.rb = rb;
+  c.fd = abcast::FdKind::kHeartbeat;
+  return c;
+}
+
+}  // namespace ibc::bench

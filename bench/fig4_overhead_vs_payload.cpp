@@ -1,0 +1,38 @@
+// Figure 4 — latency vs payload for indirect vs (faulty) direct consensus
+// on ids, n = 5, Setup 1, four throughputs (10/100/400/800 msg/s).
+//
+// Paper's shape: both algorithms order ids only, so latency is nearly
+// independent of the payload; the indirect overhead is a roughly constant
+// ratio at each throughput — negligible at 10 msg/s, clearly measurable
+// at 400-800 msg/s.
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ibc;
+  const net::NetModel model = net::NetModel::setup1();
+  const std::vector<double> sizes = {1, 1000, 2000, 3000, 4000, 5000};
+
+  int sub = 0;
+  for (const double tput : {10.0, 100.0, 400.0, 800.0}) {
+    workload::Series indirect{"Indirect consensus", {}};
+    workload::Series faulty{"(Faulty) consensus on ids", {}};
+    for (const double size : sizes) {
+      const auto payload = static_cast<std::size_t>(size);
+      indirect.values.push_back(bench::latency_point(
+          5, model, bench::indirect_ct(model, abcast::RbKind::kFloodN2),
+          payload, tput));
+      faulty.values.push_back(bench::latency_point(
+          5, model, bench::ids_plain_ct(abcast::RbKind::kFloodN2), payload,
+          tput));
+    }
+    char title[128];
+    std::snprintf(title, sizeof title,
+                  "Figure 4%c: latency [ms] vs size of messages [bytes], "
+                  "n=5, throughput=%.0f msgs/s (Setup 1)",
+                  'a' + sub++, tput);
+    workload::print_table(title, "size [B]", sizes, {indirect, faulty});
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// Figure 5 — the two *correct* stacks, reliable broadcast in O(n²):
+// latency vs payload, n = 3, Setup 2, throughput 500/1500/2000 msg/s.
+//
+// Curves: "Indirect consensus w/ rbcast" (Algorithm 1 + RB-flood) vs
+// "Consensus w/ uniform rbcast" (plain CT on ids + URB, §4.4).
+//
+// Paper's shape: with the O(n²) reliable broadcast, indirect consensus is
+// only slightly better — URB pays one extra communication step and more
+// message processing, but both flood O(n²) messages per broadcast.
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ibc;
+  const net::NetModel model = net::NetModel::setup2();
+  const std::vector<double> sizes = {1, 500, 1000, 1500, 2000, 2500};
+
+  int sub = 0;
+  for (const double tput : {500.0, 1500.0, 2000.0}) {
+    workload::Series indirect{"Indirect consensus w/ rbcast", {}};
+    workload::Series urb{"Consensus w/ uniform rbcast", {}};
+    for (const double size : sizes) {
+      const auto payload = static_cast<std::size_t>(size);
+      indirect.values.push_back(bench::latency_point(
+          3, model, bench::indirect_ct(model, abcast::RbKind::kFloodN2),
+          payload, tput));
+      urb.values.push_back(bench::latency_point(
+          3, model, bench::ids_plain_ct(abcast::RbKind::kUniform), payload,
+          tput));
+    }
+    char title[160];
+    std::snprintf(title, sizeof title,
+                  "Figure 5%c: latency [ms] vs size [bytes], n=3, "
+                  "throughput=%.0f msgs/s, RB in O(n^2) (Setup 2)",
+                  'a' + sub++, tput);
+    workload::print_table(title, "size [B]", sizes, {indirect, urb});
+  }
+  return 0;
+}

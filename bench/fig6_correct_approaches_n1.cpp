@@ -1,0 +1,41 @@
+// Figure 6 — the two correct stacks with reliable broadcast in O(n):
+// latency vs payload, n = 3, Setup 2, throughput 500/1500/2000 msg/s.
+//
+// Curves: "Indirect consensus w/ rbcast" over the failure-detector-based
+// O(n)-message reliable broadcast vs "Consensus w/ uniform rbcast"
+// (URB is inherently O(n²): uniformity requires the echo round).
+//
+// Paper's shape: with the cheap reliable broadcast, indirect consensus
+// clearly beats the URB-based stack at every payload and the gap grows
+// with throughput.
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ibc;
+  const net::NetModel model = net::NetModel::setup2();
+  const std::vector<double> sizes = {1, 500, 1000, 1500, 2000, 2500};
+
+  int sub = 0;
+  for (const double tput : {500.0, 1500.0, 2000.0}) {
+    workload::Series indirect{"Indirect consensus w/ rbcast O(n)", {}};
+    workload::Series urb{"Consensus w/ uniform rbcast", {}};
+    for (const double size : sizes) {
+      const auto payload = static_cast<std::size_t>(size);
+      indirect.values.push_back(bench::latency_point(
+          3, model, bench::indirect_ct(model, abcast::RbKind::kFdBasedN),
+          payload, tput));
+      urb.values.push_back(bench::latency_point(
+          3, model, bench::ids_plain_ct(abcast::RbKind::kUniform), payload,
+          tput));
+    }
+    char title[160];
+    std::snprintf(title, sizeof title,
+                  "Figure 6%c: latency [ms] vs size [bytes], n=3, "
+                  "throughput=%.0f msgs/s, RB in O(n) (Setup 2)",
+                  'a' + sub++, tput);
+    workload::print_table(title, "size [B]", sizes, {indirect, urb});
+  }
+  return 0;
+}

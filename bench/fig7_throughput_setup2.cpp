@@ -1,0 +1,45 @@
+// Figure 7 — latency vs throughput for the two correct stacks, n = 3,
+// payload 1 byte, Setup 2. Sub-figure (a): reliable broadcast in O(n²);
+// sub-figure (b): reliable broadcast in O(n).
+//
+// Paper's shape: the URB-based stack degrades markedly as throughput
+// grows; indirect consensus over the O(n²) broadcast behaves similarly
+// but slightly better; over the O(n) broadcast it is much less affected.
+#include <vector>
+
+#include "bench_common.hpp"
+
+int main() {
+  using namespace ibc;
+  const net::NetModel model = net::NetModel::setup2();
+  const std::vector<double> tputs = {500,  750,  1000, 1250,
+                                     1500, 1750, 2000};
+
+  const struct {
+    const char* sub;
+    abcast::RbKind rb;
+    const char* label;
+  } panels[] = {
+      {"a", abcast::RbKind::kFloodN2, "Indirect consensus w/ RB O(n^2)"},
+      {"b", abcast::RbKind::kFdBasedN, "Indirect consensus w/ RB O(n)"},
+  };
+
+  for (const auto& panel : panels) {
+    workload::Series indirect{panel.label, {}};
+    workload::Series urb{"Consensus w/ uniform rbcast", {}};
+    for (const double tput : tputs) {
+      indirect.values.push_back(bench::latency_point(
+          3, model, bench::indirect_ct(model, panel.rb), 1, tput));
+      urb.values.push_back(bench::latency_point(
+          3, model, bench::ids_plain_ct(abcast::RbKind::kUniform), 1,
+          tput));
+    }
+    char title[160];
+    std::snprintf(title, sizeof title,
+                  "Figure 7%s: latency [ms] vs throughput [msgs/s], n=3, "
+                  "size=1 B (Setup 2)",
+                  panel.sub);
+    workload::print_table(title, "msgs/s", tputs, {indirect, urb});
+  }
+  return 0;
+}

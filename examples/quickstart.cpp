@@ -1,0 +1,63 @@
+// Quickstart: atomic broadcast on a 3-process simulated cluster.
+//
+// Builds the stack the paper advocates — Algorithm 1 over indirect
+// Chandra-Toueg consensus and reliable broadcast — lets every process
+// broadcast a few messages concurrently, and prints each process's
+// delivery log. The logs are identical: that is the Uniform Total Order
+// guarantee.
+//
+//   $ ./quickstart
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "abcast/stack_builder.hpp"
+#include "runtime/sim_cluster.hpp"
+
+using namespace ibc;
+
+int main() {
+  constexpr std::uint32_t kN = 3;
+
+  // 1. A simulated LAN (the same protocol code also runs on real TCP —
+  //    see examples/chat_tcp.cpp).
+  runtime::SimCluster cluster(kN, net::NetModel::setup1(), /*seed=*/2024);
+
+  // 2. One protocol stack per process: indirect CT consensus + RB-flood.
+  abcast::StackConfig config;  // defaults: kIndirect, kCt, kFloodN2
+  std::vector<std::unique_ptr<abcast::ProcessStack>> stacks(1);
+  std::vector<std::vector<std::string>> logs(kN + 1);
+  for (ProcessId p = 1; p <= kN; ++p) {
+    stacks.push_back(std::make_unique<abcast::ProcessStack>(
+        cluster.env(p), config, &cluster.network()));
+    stacks[p]->abcast().subscribe(
+        [&logs, p](const MessageId& id, BytesView payload) {
+          logs[p].push_back(to_string(id) + " \"" +
+                            std::string(reinterpret_cast<const char*>(
+                                            payload.data()),
+                                        payload.size()) +
+                            "\"");
+        });
+  }
+  for (ProcessId p = 1; p <= kN; ++p) stacks[p]->start();
+
+  // 3. Concurrent broadcasts from every process.
+  stacks[1]->abcast().abroadcast(bytes_of("alpha from p1"));
+  stacks[2]->abcast().abroadcast(bytes_of("bravo from p2"));
+  stacks[3]->abcast().abroadcast(bytes_of("charlie from p3"));
+  cluster.run_for(milliseconds(20));
+  stacks[2]->abcast().abroadcast(bytes_of("delta from p2"));
+  cluster.run_for(seconds(1));
+
+  // 4. Every process delivered the same messages in the same order.
+  for (ProcessId p = 1; p <= kN; ++p) {
+    std::printf("process p%u delivered:\n", p);
+    for (const std::string& line : logs[p])
+      std::printf("  %s\n", line.c_str());
+  }
+  const bool identical = logs[1] == logs[2] && logs[2] == logs[3];
+  std::printf("\nlogs identical across processes: %s\n",
+              identical ? "yes" : "NO (bug!)");
+  return identical ? 0 : 1;
+}

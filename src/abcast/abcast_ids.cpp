@@ -1,0 +1,41 @@
+#include "abcast/abcast_ids.hpp"
+
+namespace ibc::abcast {
+
+AbcastIds::AbcastIds(runtime::Env& env, bcast::BroadcastService& bc,
+                     consensus::Consensus& cons)
+    : env_(env),
+      bc_(bc),
+      cons_(cons),
+      core_(core::OrderingCore::Callbacks{
+          .start_instance =
+              [this](consensus::InstanceId k, const core::IdSet& proposal) {
+                // Plain consensus: the proposal is the serialized id set,
+                // no rcv predicate travels with it.
+                cons_.propose(k, proposal.to_value());
+              },
+          .adeliver =
+              [this](const MessageId& id, BytesView payload) {
+                fire_deliver(id, payload);
+              },
+      }) {
+  bc_.subscribe([this](ProcessId, BytesView wire) {
+    Reader r(wire);
+    const MessageId id = r.message_id();
+    core_.on_rdeliver(id, r.blob_view());
+  });
+  cons_.subscribe_decide([this](consensus::InstanceId k, BytesView value) {
+    core_.on_decision(k, core::IdSet::from_value(value));
+  });
+}
+
+MessageId AbcastIds::abroadcast(Bytes payload) {
+  const MessageId id{env_.self(), ++next_seq_};
+  Writer w(payload.size() + 20);
+  w.message_id(id);
+  w.blob(payload);
+  bc_.broadcast(w.take());
+  return id;
+}
+
+}  // namespace ibc::abcast

@@ -1,0 +1,50 @@
+// Atomic broadcast with *plain* consensus on message identifiers.
+//
+// Structurally identical to Algorithm 1 but the consensus engine is the
+// unmodified CT or MR algorithm: processes adopt coordinator proposals
+// without checking whether they hold the corresponding messages.
+// Correctness then hinges entirely on the broadcast layer:
+//
+//   * with UNIFORM reliable broadcast (bcast::UrbBroadcast) the stack is
+//     CORRECT — consensus only ever sees ids of messages that were
+//     urb-delivered somewhere, and uniformity guarantees every correct
+//     process eventually receives them (§2.2, §4.4). This is the
+//     "Consensus w/ uniform rbcast" curve of Figures 5-7.
+//
+//   * with plain reliable broadcast (RbFlood / RbFdBased) the stack is
+//     the folklore FAULTY implementation (§2.2): if the only holder of m
+//     crashes after id(m) is decided, id(m) blocks the delivery sequence
+//     forever and atomic broadcast's Validity is violated. It is kept —
+//     clearly labelled — because the paper measures the overhead of
+//     indirect consensus against exactly this stack (Figures 3-4), and
+//     because tests/validity_violation demonstrate the bug.
+#pragma once
+
+#include <cstdint>
+
+#include "bcast/broadcast.hpp"
+#include "consensus/consensus.hpp"
+#include "core/abcast_service.hpp"
+#include "core/ordering.hpp"
+#include "runtime/env.hpp"
+
+namespace ibc::abcast {
+
+class AbcastIds final : public core::AbcastService {
+ public:
+  AbcastIds(runtime::Env& env, bcast::BroadcastService& bc,
+            consensus::Consensus& cons);
+
+  MessageId abroadcast(Bytes payload) override;
+
+  const core::OrderingCore& ordering() const { return core_; }
+
+ private:
+  runtime::Env& env_;
+  bcast::BroadcastService& bc_;
+  consensus::Consensus& cons_;
+  std::uint64_t next_seq_ = 0;
+  core::OrderingCore core_;
+};
+
+}  // namespace ibc::abcast

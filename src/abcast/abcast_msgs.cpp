@@ -1,0 +1,86 @@
+#include "abcast/abcast_msgs.hpp"
+
+#include "util/assert.hpp"
+
+namespace ibc::abcast {
+
+AbcastMsgs::AbcastMsgs(runtime::Env& env, bcast::BroadcastService& bc,
+                       consensus::Consensus& cons)
+    : env_(env), bc_(bc), cons_(cons) {
+  bc_.subscribe([this](ProcessId, BytesView wire) {
+    Reader r(wire);
+    const MessageId id = r.message_id();
+    on_rdeliver(id, r.blob_view());
+  });
+  cons_.subscribe_decide([this](consensus::InstanceId k, BytesView value) {
+    on_decision(k, value);
+  });
+}
+
+MessageId AbcastMsgs::abroadcast(Bytes payload) {
+  const MessageId id{env_.self(), ++next_seq_};
+  Writer w(payload.size() + 20);
+  w.message_id(id);
+  w.blob(payload);
+  bc_.broadcast(w.take());
+  return id;
+}
+
+void AbcastMsgs::on_rdeliver(const MessageId& id, BytesView payload) {
+  if (delivered_.contains(id) || unordered_.contains(id)) return;
+  unordered_.emplace(id, to_bytes(payload));
+  maybe_start_instance();
+}
+
+Bytes AbcastMsgs::serialize_unordered() const {
+  std::size_t bytes = 4;
+  for (const auto& [id, payload] : unordered_) bytes += 16 + payload.size();
+  Writer w(bytes);
+  IBC_ASSERT(unordered_.size() <= UINT32_MAX);
+  w.u32(static_cast<std::uint32_t>(unordered_.size()));
+  for (const auto& [id, payload] : unordered_) {
+    w.message_id(id);
+    w.blob(payload);
+  }
+  return w.take();
+}
+
+void AbcastMsgs::maybe_start_instance() {
+  if (inflight_ || unordered_.empty()) return;
+  const consensus::InstanceId k = applied_k_ + 1;
+  if (pending_decisions_.contains(k)) return;
+  inflight_ = true;
+  cons_.propose(k, serialize_unordered());
+}
+
+void AbcastMsgs::on_decision(consensus::InstanceId k, BytesView value) {
+  IBC_ASSERT_MSG(k > applied_k_, "decision for an already-applied instance");
+  pending_decisions_.emplace(k, to_bytes(value));
+  while (true) {
+    const auto it = pending_decisions_.find(applied_k_ + 1);
+    if (it == pending_decisions_.end()) break;
+    const Bytes decision = std::move(it->second);
+    pending_decisions_.erase(it);
+    ++applied_k_;
+    inflight_ = false;
+    apply_decision(decision);
+  }
+  maybe_start_instance();
+}
+
+void AbcastMsgs::apply_decision(BytesView value) {
+  Reader r(value);
+  const std::uint32_t count = r.u32();
+  // The value is canonical (sorted by id), so iteration order *is* the
+  // deterministic delivery order shared by all processes.
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const MessageId id = r.message_id();
+    const BytesView payload = r.blob_view();
+    unordered_.erase(id);
+    if (!delivered_.insert(id).second) continue;  // delivered earlier
+    fire_deliver(id, payload);
+  }
+  IBC_ASSERT(r.done());
+}
+
+}  // namespace ibc::abcast

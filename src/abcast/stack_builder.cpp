@@ -1,0 +1,111 @@
+#include "abcast/stack_builder.hpp"
+
+#include "util/assert.hpp"
+
+namespace ibc::abcast {
+
+std::string describe(const StackConfig& config) {
+  std::string out;
+  switch (config.variant) {
+    case Variant::kIndirect: out = "indirect-"; break;
+    case Variant::kMsgs: out = "msgs-"; break;
+    case Variant::kIdsPlain: out = "ids-plain-"; break;
+  }
+  out += config.algo == ConsensusAlgo::kCt ? "CT" : "MR";
+  switch (config.rb) {
+    case RbKind::kFloodN2: out += " + RB(n^2)"; break;
+    case RbKind::kFdBasedN: out += " + RB(n)"; break;
+    case RbKind::kUniform: out += " + URB"; break;
+  }
+  if (!is_correct_stack(config)) out += " [FAULTY]";
+  return out;
+}
+
+bool is_correct_stack(const StackConfig& config) {
+  return !(config.variant == Variant::kIdsPlain &&
+           config.rb != RbKind::kUniform);
+}
+
+ProcessStack::ProcessStack(runtime::Env& env, const StackConfig& config,
+                           net::SimNetwork* sim)
+    : stack_(env) {
+  // Failure detector.
+  switch (config.fd) {
+    case FdKind::kHeartbeat:
+      heartbeat_fd_ = std::make_unique<fd::HeartbeatFd>(
+          stack_, runtime::kLayerFd, config.heartbeat);
+      fd_ = heartbeat_fd_.get();
+      break;
+    case FdKind::kPerfect:
+      IBC_REQUIRE_MSG(sim != nullptr,
+                      "PerfectFd needs the simulated network's oracle");
+      perfect_fd_ = std::make_unique<fd::PerfectFd>(
+          env, *sim, config.perfect_fd_delay);
+      fd_ = perfect_fd_.get();
+      break;
+  }
+
+  // Broadcast layer.
+  switch (config.rb) {
+    case RbKind::kFloodN2:
+      bcast_owned_ =
+          std::make_unique<bcast::RbFlood>(stack_, runtime::kLayerBcast);
+      break;
+    case RbKind::kFdBasedN:
+      bcast_owned_ = std::make_unique<bcast::RbFdBased>(
+          stack_, runtime::kLayerBcast, *fd_);
+      break;
+    case RbKind::kUniform:
+      bcast_owned_ =
+          std::make_unique<bcast::UrbBroadcast>(stack_, runtime::kLayerUrb);
+      break;
+  }
+  bcast_ = bcast_owned_.get();
+
+  // Consensus engine + atomic broadcast.
+  if (config.variant == Variant::kIndirect) {
+    if (config.algo == ConsensusAlgo::kCt) {
+      indirect_consensus_ = std::make_unique<core::CtIndirect>(
+          stack_, runtime::kLayerConsensus, *fd_, config.indirect);
+    } else {
+      indirect_consensus_ = std::make_unique<core::MrIndirect>(
+          stack_, runtime::kLayerConsensus, *fd_, config.indirect);
+    }
+    abcast_ = std::make_unique<core::AbcastIndirect>(
+        env, *bcast_, *indirect_consensus_);
+    return;
+  }
+
+  if (config.algo == ConsensusAlgo::kCt) {
+    plain_consensus_ = std::make_unique<consensus::CtConsensus>(
+        stack_, runtime::kLayerConsensus, *fd_);
+  } else {
+    plain_consensus_ = std::make_unique<consensus::MrConsensus>(
+        stack_, runtime::kLayerConsensus, *fd_);
+  }
+  if (config.variant == Variant::kMsgs) {
+    abcast_ =
+        std::make_unique<AbcastMsgs>(env, *bcast_, *plain_consensus_);
+  } else {
+    abcast_ = std::make_unique<AbcastIds>(env, *bcast_, *plain_consensus_);
+  }
+}
+
+const core::OrderingCore* ProcessStack::ordering() const {
+  if (const auto* ind =
+          dynamic_cast<const core::AbcastIndirect*>(abcast_.get())) {
+    return &ind->ordering();
+  }
+  if (const auto* ids = dynamic_cast<const AbcastIds*>(abcast_.get())) {
+    return &ids->ordering();
+  }
+  return nullptr;
+}
+
+const consensus::Consensus::Stats& ProcessStack::consensus_stats() const {
+  if (indirect_consensus_ != nullptr) return indirect_consensus_->stats();
+  IBC_ASSERT(plain_consensus_ != nullptr);
+  return plain_consensus_->stats();
+}
+
+}  // namespace ibc::abcast

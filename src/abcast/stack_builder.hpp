@@ -1,0 +1,100 @@
+// Assembly of complete per-process protocol stacks.
+//
+// A `ProcessStack` owns one process's full protocol suite — failure
+// detector, broadcast layer, (indirect) consensus, atomic broadcast —
+// wired onto a runtime::Env. `StackConfig` selects the exact stack the
+// paper's experiments compare:
+//
+//   variant   kIndirect   Algorithm 1 + indirect consensus  (the paper)
+//             kMsgs       consensus on full messages        (Fig. 1)
+//             kIdsPlain   plain consensus on ids:
+//                           with rb = kUniform  -> correct   (Figs. 5-7)
+//                           with rb = flood/fd  -> FAULTY    (Figs. 3-4, §2.2)
+//   algo      kCt / kMr   which ♦S engine drives the ordering
+//   rb        kFloodN2 / kFdBasedN / kUniform
+//   fd        kHeartbeat (runs anywhere) / kPerfect (simulation oracle)
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "abcast/abcast_ids.hpp"
+#include "abcast/abcast_msgs.hpp"
+#include "bcast/rb_fd.hpp"
+#include "bcast/rb_flood.hpp"
+#include "bcast/urb.hpp"
+#include "consensus/ct.hpp"
+#include "consensus/mr.hpp"
+#include "core/abcast_indirect.hpp"
+#include "core/ct_indirect.hpp"
+#include "core/mr_indirect.hpp"
+#include "fd/heartbeat_fd.hpp"
+#include "fd/perfect_fd.hpp"
+#include "net/simnet.hpp"
+#include "runtime/stack.hpp"
+
+namespace ibc::abcast {
+
+enum class Variant { kIndirect, kMsgs, kIdsPlain };
+enum class ConsensusAlgo { kCt, kMr };
+enum class RbKind { kFloodN2, kFdBasedN, kUniform };
+enum class FdKind { kHeartbeat, kPerfect };
+
+struct StackConfig {
+  Variant variant = Variant::kIndirect;
+  ConsensusAlgo algo = ConsensusAlgo::kCt;
+  RbKind rb = RbKind::kFloodN2;
+  FdKind fd = FdKind::kHeartbeat;
+  fd::HeartbeatConfig heartbeat = {};
+  /// Suspicion delay of the oracle detector (kPerfect only).
+  Duration perfect_fd_delay = milliseconds(5);
+  core::IndirectConfig indirect = {};
+};
+
+/// One-line human description, e.g. "indirect-CT + RB(n^2)" or
+/// "plain-CT-on-ids + RB(n) [FAULTY]". Used in bench table headers.
+std::string describe(const StackConfig& config);
+
+/// True iff the configuration implements atomic broadcast correctly
+/// (kIdsPlain over non-uniform broadcast is the §2.2 faulty stack).
+bool is_correct_stack(const StackConfig& config);
+
+class ProcessStack {
+ public:
+  /// Builds the stack on `env`. `sim` is required for FdKind::kPerfect
+  /// (the crash oracle lives in the simulated network) and ignored
+  /// otherwise.
+  ProcessStack(runtime::Env& env, const StackConfig& config,
+               net::SimNetwork* sim = nullptr);
+
+  /// Starts all layers (heartbeats, etc.). Call once, after every
+  /// process's stack is constructed.
+  void start() { stack_.start(); }
+
+  core::AbcastService& abcast() { return *abcast_; }
+  fd::FailureDetector& failure_detector() { return *fd_; }
+  bcast::BroadcastService& broadcast() { return *bcast_; }
+
+  /// Algorithm-1 ordering state; nullptr for the kMsgs variant (which
+  /// has no id-ordering queue).
+  const core::OrderingCore* ordering() const;
+
+  /// Engine counters regardless of variant.
+  const consensus::Consensus::Stats& consensus_stats() const;
+
+ private:
+  runtime::Stack stack_;
+  std::unique_ptr<fd::HeartbeatFd> heartbeat_fd_;
+  std::unique_ptr<fd::PerfectFd> perfect_fd_;
+  fd::FailureDetector* fd_ = nullptr;
+
+  std::unique_ptr<bcast::BroadcastService> bcast_owned_;
+  bcast::BroadcastService* bcast_ = nullptr;
+
+  std::unique_ptr<consensus::Consensus> plain_consensus_;
+  std::unique_ptr<core::IndirectConsensus> indirect_consensus_;
+
+  std::unique_ptr<core::AbcastService> abcast_;
+};
+
+}  // namespace ibc::abcast

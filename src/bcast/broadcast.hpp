@@ -1,0 +1,50 @@
+// Broadcast-service abstraction.
+//
+// The paper's atomic broadcast reductions are parameterized by a broadcast
+// primitive (§2, §4.4):
+//
+//   * reliable broadcast (Validity, Uniform integrity, Agreement) — used
+//     with indirect consensus (Algorithm 1) and with consensus on full
+//     messages [2]; two implementations: RbFlood (O(n²) messages) and
+//     RbFdBased (O(n) messages in good runs).
+//   * uniform reliable broadcast (Agreement strengthened to: if *any*
+//     process delivers m, all correct processes eventually deliver m) —
+//     the alternative correct way to run plain consensus on ids (§4.4);
+//     implementation: UrbBroadcast (2 steps, O(n²), f < n/2).
+//
+// All implementations deliver each message at most once per process and
+// tag deliveries with the broadcast's origin.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/types.hpp"
+
+namespace ibc::bcast {
+
+class BroadcastService {
+ public:
+  /// (origin, payload) — payload view valid only during the call.
+  using DeliverFn = std::function<void(ProcessId, BytesView)>;
+
+  virtual ~BroadcastService() = default;
+
+  /// Broadcasts `payload` to the whole group, including the caller.
+  virtual void broadcast(Bytes payload) = 0;
+
+  /// Registers a delivery handler (multiple allowed; called in
+  /// registration order).
+  void subscribe(DeliverFn fn) { subscribers_.push_back(std::move(fn)); }
+
+ protected:
+  void deliver(ProcessId origin, BytesView payload) const {
+    for (const DeliverFn& fn : subscribers_) fn(origin, payload);
+  }
+
+ private:
+  std::vector<DeliverFn> subscribers_;
+};
+
+}  // namespace ibc::bcast

@@ -1,0 +1,63 @@
+#include "bcast/rb_fd.hpp"
+
+namespace ibc::bcast {
+
+RbFdBased::RbFdBased(runtime::Stack& stack, runtime::LayerId layer_id,
+                     fd::FailureDetector& detector)
+    : ctx_(stack.register_layer(layer_id, *this, "rbfd")),
+      detector_(detector) {
+  detector_.subscribe([this](ProcessId p, bool suspected) {
+    if (suspected) on_suspicion(p);
+  });
+}
+
+void RbFdBased::broadcast(Bytes payload) {
+  const MessageId key{ctx_.self(), ++next_seq_};
+  Writer w(payload.size() + 20);
+  w.message_id(key);
+  w.blob(payload);
+  const Bytes wire = w.take();
+  store_.emplace(key, std::move(payload));
+  ctx_.send(ctx_.self(), wire);
+  ctx_.send_to_others(wire);
+}
+
+void RbFdBased::on_message(ProcessId from, Reader& r) {
+  const MessageId key = r.message_id();
+  const BytesView payload = r.blob_view();
+
+  if (key.origin == ctx_.self()) {
+    if (from == ctx_.self()) deliver(key.origin, payload);
+    return;
+  }
+  const auto [it, inserted] = store_.emplace(key, to_bytes(payload));
+  if (!inserted) return;  // duplicate (relay of something we have)
+
+  // If the origin is already suspected, this copy travelled through a
+  // relay or raced the crash: forward it so Agreement doesn't depend on
+  // who happened to receive the origin's direct copy.
+  if (detector_.is_suspected(key.origin)) relay(key, payload, from);
+  deliver(key.origin, payload);
+}
+
+void RbFdBased::relay(const MessageId& key, BytesView payload,
+                      ProcessId skip) {
+  Writer w(payload.size() + 20);
+  w.message_id(key);
+  w.blob(payload);
+  const Bytes wire = w.take();
+  const std::uint32_t n = ctx_.n();
+  for (ProcessId p = 1; p <= n; ++p) {
+    if (p != ctx_.self() && p != key.origin && p != skip)
+      ctx_.send(p, wire);
+  }
+}
+
+void RbFdBased::on_suspicion(ProcessId q) {
+  // Re-send everything we ever received from q; receivers dedup.
+  for (const auto& [key, payload] : store_) {
+    if (key.origin == q) relay(key, payload, kInvalidProcess);
+  }
+}
+
+}  // namespace ibc::bcast

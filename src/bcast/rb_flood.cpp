@@ -1,0 +1,47 @@
+#include "bcast/rb_flood.hpp"
+
+namespace ibc::bcast {
+
+RbFlood::RbFlood(runtime::Stack& stack, runtime::LayerId layer_id)
+    : ctx_(stack.register_layer(layer_id, *this, "rb")) {}
+
+void RbFlood::broadcast(Bytes payload) {
+  const MessageId key{ctx_.self(), ++next_seq_};
+  Writer w(payload.size() + 20);
+  w.message_id(key);
+  w.blob(payload);
+  const Bytes wire = w.take();
+  // The origin's own copy goes through the loopback path like everyone
+  // else's, so its delivery pays the same (simulated) cost and happens
+  // asynchronously — matching a real stack where the layer hands the
+  // message to itself through the transport.
+  seen_.insert(key);
+  ctx_.send(ctx_.self(), wire);
+  ctx_.send_to_others(wire);
+}
+
+void RbFlood::on_message(ProcessId from, Reader& r) {
+  const MessageId key = r.message_id();
+  const BytesView payload = r.blob_view();
+
+  if (key.origin == ctx_.self()) {
+    // Our own broadcast coming back (loopback or relay): deliver once.
+    if (from == ctx_.self()) deliver(key.origin, payload);
+    return;
+  }
+  if (!seen_.insert(key).second) return;  // duplicate
+
+  // Relay before delivering (first receipt), then deliver.
+  Writer w(payload.size() + 20);
+  w.message_id(key);
+  w.blob(payload);
+  const Bytes wire = w.take();
+  const std::uint32_t n = ctx_.n();
+  for (ProcessId p = 1; p <= n; ++p) {
+    if (p != ctx_.self() && p != key.origin && p != from)
+      ctx_.send(p, wire);
+  }
+  deliver(key.origin, payload);
+}
+
+}  // namespace ibc::bcast

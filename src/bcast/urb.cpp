@@ -1,0 +1,53 @@
+#include "bcast/urb.hpp"
+
+namespace ibc::bcast {
+
+UrbBroadcast::UrbBroadcast(runtime::Stack& stack,
+                           runtime::LayerId layer_id)
+    : ctx_(stack.register_layer(layer_id, *this, "urb")) {}
+
+void UrbBroadcast::broadcast(Bytes payload) {
+  const MessageId key{ctx_.self(), ++next_seq_};
+  Pending& p = state_[key];
+  p.payload = std::move(payload);
+  p.forwarders.insert(ctx_.self());
+  forward(key, p.payload);
+  // n == 1: we are our own majority.
+  if (p.forwarders.size() >= majority() && !p.delivered) {
+    p.delivered = true;
+    deliver(key.origin, p.payload);
+  }
+}
+
+void UrbBroadcast::forward(const MessageId& key, BytesView payload) {
+  Writer w(payload.size() + 20);
+  w.message_id(key);
+  w.blob(payload);
+  ctx_.send_to_others(w.take());
+}
+
+void UrbBroadcast::on_message(ProcessId from, Reader& r) {
+  const MessageId key = r.message_id();
+  const BytesView payload = r.blob_view();
+  account(key, from, payload);
+}
+
+void UrbBroadcast::account(const MessageId& key, ProcessId forwarder,
+                           BytesView payload) {
+  Pending& p = state_[key];
+  if (p.forwarders.empty()) {
+    // First time we hear of this message: store and re-forward to all
+    // (our forward is what makes delivery by anyone imply delivery by
+    // all correct processes).
+    p.payload = to_bytes(payload);
+    p.forwarders.insert(ctx_.self());
+    forward(key, p.payload);
+  }
+  p.forwarders.insert(forwarder);
+  if (!p.delivered && p.forwarders.size() >= majority()) {
+    p.delivered = true;
+    deliver(key.origin, p.payload);
+  }
+}
+
+}  // namespace ibc::bcast

@@ -1,0 +1,54 @@
+// Uniform reliable broadcast — majority echo, 2 steps, O(n²) messages,
+// tolerates f < n/2 crashes.
+//
+// The algorithm the paper assumes in §4.4: "supports up to f < n/2
+// crash-failures and requires O(n²) messages and 2 communication steps".
+// On the first receipt of FORWARD(m), a process re-FORWARDs m to everyone;
+// m is delivered once FORWARDs for m have been received from a majority
+// ⌈(n+1)/2⌉ of distinct processes (counting the process itself).
+//
+// Uniformity: a delivering process (even one that crashes right after)
+// saw a majority of forwarders; at least one of them is correct and has
+// already sent m to all, so every correct process eventually receives
+// n - f ≥ ⌈(n+1)/2⌉ forwards and delivers m too. This is the property
+// that lets *plain* consensus on message ids implement atomic broadcast
+// correctly — at the cost of one extra communication step on every
+// message, which is what Figures 5-7 measure.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bcast/broadcast.hpp"
+#include "runtime/stack.hpp"
+
+namespace ibc::bcast {
+
+class UrbBroadcast final : public runtime::Layer, public BroadcastService {
+ public:
+  UrbBroadcast(runtime::Stack& stack, runtime::LayerId layer_id);
+
+  void broadcast(Bytes payload) override;
+
+  void on_message(ProcessId from, Reader& r) override;
+
+  /// Majority threshold ⌈(n+1)/2⌉ used for delivery.
+  std::uint32_t majority() const { return ctx_.n() / 2 + 1; }
+
+ private:
+  struct Pending {
+    Bytes payload;
+    std::unordered_set<ProcessId> forwarders;
+    bool delivered = false;
+  };
+
+  void forward(const MessageId& key, BytesView payload);
+  void account(const MessageId& key, ProcessId forwarder, BytesView payload);
+
+  runtime::LayerContext ctx_;
+  std::uint64_t next_seq_ = 0;
+  std::unordered_map<MessageId, Pending> state_;
+};
+
+}  // namespace ibc::bcast

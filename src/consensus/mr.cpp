@@ -1,0 +1,247 @@
+#include "consensus/mr.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ibc::consensus {
+
+namespace {
+enum MsgType : std::uint8_t {
+  kCoord = 1,   // phase 1: (r, estimate) coordinator -> all
+  kEcho = 2,    // phase 1->2: (r, ⊥ | value) -> all
+  kDecide = 3,  // (value), relayed on first receipt
+};
+}  // namespace
+
+MrConsensus::MrConsensus(runtime::Stack& stack, runtime::LayerId layer_id,
+                         fd::FailureDetector& detector, MrConfig config)
+    : ctx_(stack.register_layer(layer_id, *this, "mr")),
+      detector_(detector),
+      config_(std::move(config)) {
+  detector_.subscribe([this](ProcessId p, bool suspected) {
+    if (suspected) on_suspicion(p);
+  });
+}
+
+std::uint32_t MrConsensus::quorum() const {
+  return config_.quorum ? config_.quorum(ctx_.n()) : majority(ctx_.n());
+}
+
+bool MrConsensus::has_decided(InstanceId k) const {
+  const auto it = instances_.find(k);
+  return it != instances_.end() && it->second.decided;
+}
+
+std::uint32_t MrConsensus::round_of(InstanceId k) const {
+  const auto it = instances_.find(k);
+  return it == instances_.end() ? 0 : it->second.round;
+}
+
+void MrConsensus::propose(InstanceId k, Bytes value) {
+  Instance& inst = instance(k);
+  IBC_REQUIRE_MSG(!inst.proposed, "duplicate propose in instance");
+  inst.proposed = true;
+  if (inst.decided) return;  // decision arrived before we proposed
+  inst.estimate = std::move(value);
+  enter_round(k, inst, 1);
+}
+
+void MrConsensus::enter_round(InstanceId k, Instance& inst,
+                              std::uint32_t r) {
+  IBC_ASSERT(!inst.decided && inst.proposed);
+  inst.round = r;
+  ++stats_.rounds_started;
+  const ProcessId coord = coord_of(r);
+  ctx_.log().logf(LogLevel::kTrace, "k=%llu round %u coord p%u",
+                  static_cast<unsigned long long>(k), r, coord);
+
+  if (coord == ctx_.self()) {
+    // Phase 1, coordinator side: est_from_c is our own estimate
+    // (Algorithm 3 line 11) — no acceptance test on one's own value.
+    Writer w(inst.estimate.size() + 16);
+    w.u8(kCoord);
+    w.u64(k);
+    w.u32(r);
+    w.blob(inst.estimate);
+    ctx_.send_to_others(w.take());
+    send_echo(k, inst, Echo(inst.estimate));
+  } else {
+    inst.wait = Wait::kCoord;
+    try_phase1(k, inst);
+  }
+}
+
+void MrConsensus::try_phase1(InstanceId k, Instance& inst) {
+  if (inst.wait != Wait::kCoord) return;
+  RoundData& rd = inst.rounds[inst.round];
+  if (rd.coord_value.has_value()) {
+    // Algorithm 3 lines 15-19: echo the coordinator's value only if the
+    // acceptance policy holds (original MR: always; indirect: rcv).
+    const bool accept = !config_.accept_phase1 ||
+                        config_.accept_phase1(k, *rd.coord_value);
+    if (accept) {
+      ++stats_.proposals_accepted;
+      send_echo(k, inst, rd.coord_value);
+    } else {
+      ++stats_.proposals_refused;
+      send_echo(k, inst, std::nullopt);
+    }
+  } else if (detector_.is_suspected(coord_of(inst.round))) {
+    send_echo(k, inst, std::nullopt);
+  }
+  // Otherwise wait: coordinator value or suspicion will re-trigger.
+}
+
+void MrConsensus::send_echo(InstanceId k, Instance& inst,
+                            const Echo& echo) {
+  Writer w((echo ? echo->size() : 0) + 20);
+  w.u8(kEcho);
+  w.u64(k);
+  w.u32(inst.round);
+  w.u8(echo.has_value() ? 1 : 0);
+  if (echo.has_value()) w.blob(*echo);
+  ctx_.send_to_all(w.take());
+  inst.wait = Wait::kEchoes;
+  try_phase2(k, inst);  // the quorum may already have accumulated
+}
+
+void MrConsensus::try_phase2(InstanceId k, Instance& inst) {
+  if (inst.wait != Wait::kEchoes) return;
+  const std::uint32_t q = quorum();
+  RoundData& rd = inst.rounds[inst.round];
+  if (rd.acted || rd.echo_order.size() < q) return;
+  rd.acted = true;
+
+  // Consider exactly the first q echoes, like the pseudocode's blocking
+  // wait. Crash faults only: all valid echoes of a round carry the
+  // coordinator's single value, which the assertion below documents.
+  const Bytes* valid = nullptr;
+  std::uint32_t valid_count = 0;
+  for (std::uint32_t i = 0; i < q; ++i) {
+    const Echo& e = rd.echo_order[i].second;
+    if (!e.has_value()) continue;
+    if (valid == nullptr) {
+      valid = &*e;
+    } else {
+      IBC_ASSERT_MSG(bytes_equal(*valid, *e),
+                     "two distinct valid values in one MR round");
+    }
+    ++valid_count;
+  }
+
+  const std::uint32_t r = inst.round;
+  if (valid != nullptr && valid_count == q) {
+    // rec_p = {v}: decide (Algorithm 3 lines 24-26).
+    inst.estimate = *valid;
+    const Bytes value = inst.estimate;
+    send_decide(k, value, ctx_.self());
+    decide_instance(k, inst, value);
+    return;
+  }
+  if (valid != nullptr) {
+    // rec_p = {v, ⊥}: adopt if the policy allows (lines 27-29).
+    if (!config_.adopt_phase2 ||
+        config_.adopt_phase2(k, *valid, valid_count)) {
+      inst.estimate = *valid;
+    }
+  }
+  schedule_next_round(k, r);
+}
+
+void MrConsensus::schedule_next_round(InstanceId k, std::uint32_t r) {
+  Instance& inst = instance(k);
+  inst.wait = Wait::kNone;
+  ctx_.defer([this, k, r] {
+    Instance& i = instance(k);
+    if (!i.decided && i.proposed && i.round == r && i.wait == Wait::kNone)
+      enter_round(k, i, r + 1);
+  });
+}
+
+void MrConsensus::send_decide(InstanceId k, BytesView value,
+                              ProcessId skip) {
+  Writer w(value.size() + 16);
+  w.u8(kDecide);
+  w.u64(k);
+  w.blob(value);
+  const Bytes wire = w.take();
+  const std::uint32_t n = ctx_.n();
+  for (ProcessId p = 1; p <= n; ++p)
+    if (p != ctx_.self() && p != skip) ctx_.send(p, wire);
+}
+
+void MrConsensus::decide_instance(InstanceId k, Instance& inst,
+                                  BytesView value) {
+  if (inst.decided) return;
+  inst.decided = true;
+  inst.decision = to_bytes(value);
+  inst.wait = Wait::kNone;
+  inst.rounds.clear();
+  ctx_.log().logf(LogLevel::kDebug, "k=%llu decided (%zu bytes)",
+                  static_cast<unsigned long long>(k), inst.decision.size());
+  fire_decide(k, inst.decision);
+}
+
+void MrConsensus::on_suspicion(ProcessId p) {
+  for (auto& [k, inst] : instances_) {
+    if (inst.proposed && !inst.decided && inst.wait == Wait::kCoord &&
+        coord_of(inst.round) == p) {
+      try_phase1(k, inst);
+    }
+  }
+}
+
+void MrConsensus::on_message(ProcessId from, Reader& r) {
+  const auto type = static_cast<MsgType>(r.u8());
+  const InstanceId k = r.u64();
+  Instance& inst = instance(k);
+
+  if (type == kDecide) {
+    const BytesView value = r.blob_view();
+    if (!inst.decided) {
+      ++stats_.decides_relayed;
+      send_decide(k, value, from);
+      decide_instance(k, inst, value);
+    }
+    return;
+  }
+
+  if (inst.decided) {
+    if (from != ctx_.self()) {
+      Writer w(inst.decision.size() + 16);
+      w.u8(kDecide);
+      w.u64(k);
+      w.blob(inst.decision);
+      ctx_.send(from, w.take());
+    }
+    return;
+  }
+
+  switch (type) {
+    case kCoord: {
+      const std::uint32_t round = r.u32();
+      Bytes value = r.blob();
+      if (round < inst.round) return;  // stale
+      RoundData& rd = inst.rounds[round];
+      rd.coord_value = std::move(value);
+      if (inst.proposed && round == inst.round) try_phase1(k, inst);
+      break;
+    }
+    case kEcho: {
+      const std::uint32_t round = r.u32();
+      const bool has_value = r.u8() != 0;
+      Echo echo = has_value ? Echo(r.blob()) : std::nullopt;
+      if (round < inst.round) return;  // stale
+      RoundData& rd = inst.rounds[round];
+      if (rd.echo_from.insert(from).second)
+        rd.echo_order.emplace_back(from, std::move(echo));
+      if (inst.proposed && round == inst.round) try_phase2(k, inst);
+      break;
+    }
+    case kDecide:
+      IBC_UNREACHABLE("handled above");
+  }
+}
+
+}  // namespace ibc::consensus

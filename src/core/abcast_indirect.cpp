@@ -1,0 +1,44 @@
+#include "core/abcast_indirect.hpp"
+
+namespace ibc::core {
+
+AbcastIndirect::AbcastIndirect(runtime::Env& env,
+                               bcast::BroadcastService& rb,
+                               IndirectConsensus& ic)
+    : env_(env),
+      rb_(rb),
+      ic_(ic),
+      core_(OrderingCore::Callbacks{
+          .start_instance =
+              [this](consensus::InstanceId k, const IdSet& proposal) {
+                // Lines 15-17: propose (unordered, rcv). The rcv handed to
+                // consensus is Algorithm 1's lines 9-10 over this
+                // process's received set.
+                ic_.propose(k, proposal,
+                            [this](const IdSet& v) { return core_.rcv(v); });
+              },
+          .adeliver =
+              [this](const MessageId& id, BytesView payload) {
+                fire_deliver(id, payload);
+              },
+      }) {
+  rb_.subscribe([this](ProcessId, BytesView wire) {
+    Reader r(wire);
+    const MessageId id = r.message_id();
+    core_.on_rdeliver(id, r.blob_view());
+  });
+  ic_.subscribe_decide([this](consensus::InstanceId k, const IdSet& ids) {
+    core_.on_decision(k, ids);
+  });
+}
+
+MessageId AbcastIndirect::abroadcast(Bytes payload) {
+  const MessageId id{env_.self(), ++next_seq_};
+  Writer w(payload.size() + 20);
+  w.message_id(id);
+  w.blob(payload);
+  rb_.broadcast(w.take());  // line 8: R-broadcast(m) to all
+  return id;
+}
+
+}  // namespace ibc::core

@@ -1,0 +1,49 @@
+// Atomic-broadcast service abstraction.
+//
+// Uniform atomic broadcast (§2.1): Validity (a correct broadcaster
+// eventually delivers its own message), Uniform integrity (at most once,
+// only if broadcast), Uniform agreement (if *any* process delivers m, all
+// correct processes do) and Uniform total order. Four implementations:
+//
+//   * core::AbcastIndirect — Algorithm 1 on indirect consensus (the
+//     paper's contribution; correct with plain reliable broadcast);
+//   * abcast::AbcastMsgs — the [2] reduction, consensus on full messages
+//     (correct; the Figure-1 baseline);
+//   * abcast::AbcastIds — plain consensus on ids. Correct when combined
+//     with *uniform* reliable broadcast (§4.4); with plain reliable
+//     broadcast it is the folklore FAULTY stack whose Validity breaks
+//     under a crash (§2.2) — kept for the paper's overhead comparison
+//     and the violation demonstration.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/types.hpp"
+
+namespace ibc::core {
+
+class AbcastService {
+ public:
+  /// (id, payload) — delivery order is identical at all processes.
+  using DeliverFn = std::function<void(const MessageId&, BytesView)>;
+
+  virtual ~AbcastService() = default;
+
+  /// Atomically broadcasts `payload`; returns the identifier assigned to
+  /// the message (unique: this process id + a local sequence number).
+  virtual MessageId abroadcast(Bytes payload) = 0;
+
+  void subscribe(DeliverFn fn) { subscribers_.push_back(std::move(fn)); }
+
+ protected:
+  void fire_deliver(const MessageId& id, BytesView payload) const {
+    for (const DeliverFn& fn : subscribers_) fn(id, payload);
+  }
+
+ private:
+  std::vector<DeliverFn> subscribers_;
+};
+
+}  // namespace ibc::core

@@ -1,0 +1,59 @@
+// Indirect consensus from Chandra-Toueg ♦S consensus — Algorithm 2.
+//
+// The adaptation (§3.2) changes exactly one decision point of the CT
+// engine: in Phase 3 a process — the coordinator included — adopts the
+// coordinator's proposal v and acks only if rcv(v) holds; otherwise it
+// nacks and keeps its own estimate. Everything else (majority quorums,
+// timestamps, decide dissemination) is the original algorithm, so the
+// resilience stays f < n/2.
+//
+// Why this gives No loss (§3.2.3): a v-valent configuration means every
+// future coordinator selects v, so at least ⌈(n+1)/2⌉ processes hold v as
+// their estimate; each of them either proposed v (and a proposer has
+// msgs(v) by the reduction's precondition) or adopted it through the
+// rcv-gated Phase 3 — either way it has received msgs(v), so the
+// configuration is v-stable.
+//
+// The rcv check is also charged to the simulated CPU
+// (`rcv_check_cost_per_id` × |v|): the measured overhead of indirect
+// consensus in the paper's Figures 3-4 is the Java-era cost of exactly
+// these lookups, which the C++ implementation would otherwise erase.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "consensus/ct.hpp"
+#include "core/indirect_consensus.hpp"
+
+namespace ibc::core {
+
+struct IndirectConfig {
+  /// Simulated CPU charged per id on every rcv evaluation (0 = free).
+  Duration rcv_check_cost_per_id = 0;
+};
+
+class CtIndirect final : public IndirectConsensus {
+ public:
+  CtIndirect(runtime::Stack& stack, runtime::LayerId layer_id,
+             fd::FailureDetector& detector, IndirectConfig config = {});
+
+  void propose(consensus::InstanceId k, IdSet v, RcvFn rcv) override;
+  bool has_decided(consensus::InstanceId k) const override;
+  const consensus::Consensus::Stats& stats() const override {
+    return engine_.stats();
+  }
+
+  /// The underlying engine (test observability).
+  consensus::CtConsensus& engine() { return engine_; }
+
+ private:
+  bool check_rcv(consensus::InstanceId k, BytesView value);
+
+  runtime::Env& env_;
+  IndirectConfig config_;
+  std::unordered_map<consensus::InstanceId, RcvFn> rcv_;
+  consensus::CtConsensus engine_;  // constructed last: hooks capture this
+};
+
+}  // namespace ibc::core

@@ -1,0 +1,89 @@
+#include "core/id_set.hpp"
+
+#include <algorithm>
+
+#include "util/assert.hpp"
+
+namespace ibc::core {
+
+IdSet IdSet::from_unsorted(std::vector<MessageId> ids) {
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  IdSet s;
+  s.ids_ = std::move(ids);
+  return s;
+}
+
+IdSet IdSet::deserialize(Reader& r) {
+  const std::uint32_t count = r.u32();
+  IdSet s;
+  s.ids_.reserve(count);
+  MessageId prev{};
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const MessageId id = r.message_id();
+    IBC_ASSERT_MSG(i == 0 || prev < id, "IdSet wire data not canonical");
+    s.ids_.push_back(id);
+    prev = id;
+  }
+  return s;
+}
+
+IdSet IdSet::from_value(BytesView value) {
+  Reader r(value);
+  IdSet s = deserialize(r);
+  IBC_ASSERT_MSG(r.done(), "trailing bytes after IdSet");
+  return s;
+}
+
+bool IdSet::insert(const MessageId& id) {
+  const auto it = std::lower_bound(ids_.begin(), ids_.end(), id);
+  if (it != ids_.end() && *it == id) return false;
+  ids_.insert(it, id);
+  return true;
+}
+
+bool IdSet::contains(const MessageId& id) const {
+  return std::binary_search(ids_.begin(), ids_.end(), id);
+}
+
+void IdSet::remove_all(const IdSet& other) {
+  if (other.empty() || empty()) return;
+  std::vector<MessageId> kept;
+  kept.reserve(ids_.size());
+  std::set_difference(ids_.begin(), ids_.end(), other.ids_.begin(),
+                      other.ids_.end(), std::back_inserter(kept));
+  ids_ = std::move(kept);
+}
+
+void IdSet::merge(const IdSet& other) {
+  if (other.empty()) return;
+  std::vector<MessageId> merged;
+  merged.reserve(ids_.size() + other.ids_.size());
+  std::set_union(ids_.begin(), ids_.end(), other.ids_.begin(),
+                 other.ids_.end(), std::back_inserter(merged));
+  ids_ = std::move(merged);
+}
+
+void IdSet::serialize(Writer& w) const {
+  IBC_REQUIRE(ids_.size() <= UINT32_MAX);
+  w.u32(static_cast<std::uint32_t>(ids_.size()));
+  for (const MessageId& id : ids_) w.message_id(id);
+}
+
+Bytes IdSet::to_value() const {
+  Writer w(4 + ids_.size() * 12);
+  serialize(w);
+  return w.take();
+}
+
+std::string IdSet::to_string() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < ids_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += ibc::to_string(ids_[i]);
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace ibc::core

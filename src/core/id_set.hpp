@@ -1,0 +1,66 @@
+// Canonical sets of message identifiers — the values of indirect consensus.
+//
+// Indirect consensus decides on sets of message ids (`v` in the paper,
+// with `msgs(v)` the corresponding messages). The representation is a
+// sorted, duplicate-free vector with a canonical serialization: two sets
+// are equal iff their serialized bytes are equal, which is what lets the
+// generic consensus engines compare estimates bytewise (MR's
+// `rec_p = {v}` test) and what makes the delivery order of Algorithm 1
+// line 20 ("elements of idSet in some deterministic order") identical at
+// every process.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/types.hpp"
+
+namespace ibc::core {
+
+class IdSet {
+ public:
+  IdSet() = default;
+
+  /// Builds a set from arbitrary ids (sorts, deduplicates).
+  static IdSet from_unsorted(std::vector<MessageId> ids);
+
+  /// Parses a set serialized with `serialize`/`to_value`.
+  static IdSet deserialize(Reader& r);
+  static IdSet from_value(BytesView value);
+
+  /// Inserts `id`, keeping the canonical order. Returns false if already
+  /// present.
+  bool insert(const MessageId& id);
+
+  bool contains(const MessageId& id) const;
+
+  /// Removes every id in `other` that is present (Algorithm 1 line 19:
+  /// unordered \ idSet).
+  void remove_all(const IdSet& other);
+
+  /// Adds every id in `other` (set union).
+  void merge(const IdSet& other);
+
+  bool empty() const { return ids_.empty(); }
+  std::size_t size() const { return ids_.size(); }
+  void clear() { ids_.clear(); }
+
+  /// Ids in canonical (sorted) order — the deterministic delivery order.
+  const std::vector<MessageId>& ids() const { return ids_; }
+  auto begin() const { return ids_.begin(); }
+  auto end() const { return ids_.end(); }
+
+  void serialize(Writer& w) const;
+  Bytes to_value() const;
+
+  friend bool operator==(const IdSet&, const IdSet&) = default;
+
+  std::string to_string() const;
+
+ private:
+  std::vector<MessageId> ids_;  // sorted, unique
+};
+
+}  // namespace ibc::core

@@ -1,0 +1,65 @@
+// Indirect consensus — the paper's central abstraction (§2.3).
+//
+// A proposal is a pair (v, rcv): a set of message identifiers and a
+// predicate telling whether this process currently holds msgs(v). The
+// problem strengthens uniform consensus with:
+//
+//   Termination        under Hypothesis A: if rcv(v) holds at a correct
+//                      process it eventually holds at all correct
+//                      processes (supplied by reliable-broadcast
+//                      Agreement — Algorithm 1 §2.4);
+//   Uniform integrity  every process decides at most once;
+//   Uniform agreement  no two processes decide differently;
+//   Uniform validity   a decided v was proposed by some process;
+//   No loss            if v is decided at time t, some correct process
+//                      has received msgs(v) at time t.
+//
+// §3.1 shows No loss holds iff every v-valent configuration (all future
+// decisions are v) is also v-stable (f+1 processes hold msgs(v)) — the
+// proof obligation the two adapters (ct_indirect, mr_indirect) discharge.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "consensus/consensus.hpp"
+#include "core/id_set.hpp"
+
+namespace ibc::core {
+
+/// The rcv predicate: true iff msgs(v) have all been received locally.
+/// Supplied by the atomic-broadcast layer (Algorithm 1 lines 9-10);
+/// must be monotone (once true, stays true) and satisfy Hypothesis A.
+using RcvFn = std::function<bool(const IdSet&)>;
+
+class IndirectConsensus {
+ public:
+  using DecideFn = std::function<void(consensus::InstanceId, const IdSet&)>;
+
+  virtual ~IndirectConsensus() = default;
+
+  /// Proposes (v, rcv) in instance k. Precondition (inherited from the
+  /// reduction): rcv(v) holds at the proposer at the time of the call —
+  /// a process only proposes identifiers of messages it has received.
+  virtual void propose(consensus::InstanceId k, IdSet v, RcvFn rcv) = 0;
+
+  virtual bool has_decided(consensus::InstanceId k) const = 0;
+
+  /// Underlying engine counters (rounds, refusals, ...) for tests and
+  /// ablations.
+  virtual const consensus::Consensus::Stats& stats() const = 0;
+
+  void subscribe_decide(DecideFn fn) {
+    subscribers_.push_back(std::move(fn));
+  }
+
+ protected:
+  void fire_decide(consensus::InstanceId k, const IdSet& v) const {
+    for (const DecideFn& fn : subscribers_) fn(k, v);
+  }
+
+ private:
+  std::vector<DecideFn> subscribers_;
+};
+
+}  // namespace ibc::core

@@ -1,0 +1,55 @@
+// Indirect consensus from Mostéfaoui-Raynal ♦S consensus — Algorithm 3.
+//
+// §3.3.2 shows the MR algorithm cannot be adapted by an acceptance test
+// alone: a process that suspects the coordinator and lacks msgs(v) cannot
+// distinguish an execution where it must adopt v (Uniform agreement) from
+// one where adopting v would break No loss. The adaptation therefore
+// changes three things (all three expressed as MrConfig policies):
+//
+//   1. Phase 1: a process echoes the coordinator's value v only if
+//      rcv(v) holds, otherwise it echoes ⊥ (lines 16-19);
+//   2. Phase 2 waits for ⌈(2n+1)/3⌉ echoes instead of a majority
+//      (line 22) — any two such quorums intersect in ≥ ⌈(n+1)/3⌉ ≥ f+1
+//      processes, which is what restores Uniform agreement;
+//   3. a valid value v seen next to ⊥ echoes is adopted only if rcv(v)
+//      holds or v was received from ≥ ⌈(n+1)/3⌉ processes, i.e. from at
+//      least one correct process that holds msgs(v) (lines 27-29).
+//
+// The price is resilience: f < n/3 instead of the original f < n/2 —
+// the paper's headline example that indirect consensus adaptations are
+// not free.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "consensus/mr.hpp"
+#include "core/ct_indirect.hpp"  // IndirectConfig
+#include "core/indirect_consensus.hpp"
+
+namespace ibc::core {
+
+class MrIndirect final : public IndirectConsensus {
+ public:
+  MrIndirect(runtime::Stack& stack, runtime::LayerId layer_id,
+             fd::FailureDetector& detector, IndirectConfig config = {});
+
+  void propose(consensus::InstanceId k, IdSet v, RcvFn rcv) override;
+  bool has_decided(consensus::InstanceId k) const override;
+  const consensus::Consensus::Stats& stats() const override {
+    return engine_.stats();
+  }
+
+  consensus::MrConsensus& engine() { return engine_; }
+
+ private:
+  bool check_rcv(consensus::InstanceId k, BytesView value);
+
+  runtime::Env& env_;
+  IndirectConfig config_;
+  std::uint32_t n_;
+  std::unordered_map<consensus::InstanceId, RcvFn> rcv_;
+  consensus::MrConsensus engine_;
+};
+
+}  // namespace ibc::core

@@ -1,0 +1,91 @@
+#include "core/ordering.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ibc::core {
+
+OrderingCore::OrderingCore(Callbacks callbacks)
+    : callbacks_(std::move(callbacks)) {
+  IBC_REQUIRE(callbacks_.start_instance != nullptr);
+  IBC_REQUIRE(callbacks_.adeliver != nullptr);
+}
+
+void OrderingCore::on_rdeliver(const MessageId& id, BytesView payload) {
+  if (delivered_.contains(id) || received_.contains(id)) return;
+  received_.emplace(id, to_bytes(payload));
+  // Line 13: only ids not already ordered become consensus candidates.
+  if (!ordered_set_.contains(id)) unordered_.insert(id);
+  try_deliver();
+  maybe_start_instance();
+}
+
+void OrderingCore::on_decision(consensus::InstanceId k, const IdSet& ids) {
+  IBC_ASSERT_MSG(k > applied_k_, "decision for an already-applied instance");
+  pending_decisions_.emplace(k, ids);
+  // Apply in instance order; later decisions wait for their turn.
+  while (true) {
+    const auto it = pending_decisions_.find(applied_k_ + 1);
+    if (it == pending_decisions_.end()) break;
+    const IdSet next = std::move(it->second);
+    pending_decisions_.erase(it);
+    apply_decision(applied_k_ + 1, next);
+  }
+  maybe_start_instance();
+}
+
+void OrderingCore::apply_decision(consensus::InstanceId k,
+                                  const IdSet& ids) {
+  applied_k_ = k;
+  if (inflight_ == k) inflight_.reset();
+  // Line 19: unordered \ idSet.
+  unordered_.remove_all(ids);
+  // Lines 20-21: append in the canonical (deterministic) order.
+  for (const MessageId& id : ids) {
+    IBC_ASSERT_MSG(!delivered_.contains(id) && !ordered_set_.contains(id),
+                   "id ordered twice");
+    ordered_.push_back(id);
+    ordered_set_.insert(id);
+  }
+  try_deliver();
+}
+
+void OrderingCore::maybe_start_instance() {
+  // One instance at a time; a decision that already arrived for the next
+  // instance takes precedence over proposing in it.
+  if (inflight_.has_value() || unordered_.empty()) return;
+  const consensus::InstanceId k = applied_k_ + 1;
+  if (pending_decisions_.contains(k)) return;
+  inflight_ = k;
+  callbacks_.start_instance(k, unordered_);
+}
+
+void OrderingCore::try_deliver() {
+  // Lines 23-25: deliver while the head's payload is available.
+  while (!ordered_.empty()) {
+    const MessageId head = ordered_.front();
+    const auto it = received_.find(head);
+    if (it == received_.end()) return;  // blocked: payload not yet here
+    ordered_.pop_front();
+    ordered_set_.erase(head);
+    delivered_.insert(head);
+    const Bytes payload = std::move(it->second);
+    received_.erase(it);
+    callbacks_.adeliver(head, payload);
+  }
+}
+
+bool OrderingCore::rcv(const IdSet& ids) const {
+  for (const MessageId& id : ids) {
+    if (!received_.contains(id) && !delivered_.contains(id)) return false;
+  }
+  return true;
+}
+
+std::optional<MessageId> OrderingCore::blocked_head() const {
+  if (ordered_.empty()) return std::nullopt;
+  return ordered_.front();
+}
+
+}  // namespace ibc::core

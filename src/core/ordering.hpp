@@ -1,0 +1,93 @@
+// The bookkeeping of Algorithm 1, shared by every id-ordering stack.
+//
+// Maintains the paper's four state variables:
+//   received    messages R-delivered but whose payload is still needed
+//   unordered   ids received but not yet ordered (consensus proposals)
+//   ordered     ids ordered by consensus but not yet A-delivered
+//   (delivered) ids already A-delivered (implicit in the pseudocode)
+//
+// and the two rules:
+//   * run consensus instance k = 1, 2, ... whenever unordered ≠ ∅
+//     (lines 15-18), one instance at a time;
+//   * A-deliver the head of `ordered` as soon as its payload is present
+//     (lines 23-25).
+//
+// Decisions are applied strictly in instance order — instance k+1's
+// decision can physically arrive before instance k's (independent decide
+// floods) and is buffered until its turn, since the total order is the
+// concatenation of the per-instance sequences.
+//
+// The class is transport- and consensus-agnostic: the owner wires
+// `start_instance` to an (indirect or plain) consensus propose and feeds
+// R-deliveries and decisions back in. `rcv` implements lines 9-10 and is
+// handed to indirect consensus by AbcastIndirect.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "consensus/consensus.hpp"
+#include "core/id_set.hpp"
+#include "util/bytes.hpp"
+
+namespace ibc::core {
+
+class OrderingCore {
+ public:
+  struct Callbacks {
+    /// Propose `proposal` in consensus instance `k`.
+    std::function<void(consensus::InstanceId k, const IdSet& proposal)>
+        start_instance;
+    /// A-deliver one message.
+    std::function<void(const MessageId&, BytesView)> adeliver;
+  };
+
+  explicit OrderingCore(Callbacks callbacks);
+
+  /// Feed of R-deliveries (Algorithm 1 lines 11-14). Duplicate ids are
+  /// ignored (the broadcast layer already guarantees at-most-once; this
+  /// is defensive).
+  void on_rdeliver(const MessageId& id, BytesView payload);
+
+  /// Feed of consensus decisions, any instance order.
+  void on_decision(consensus::InstanceId k, const IdSet& ids);
+
+  /// Lines 9-10: true iff every message named in `ids` has been received
+  /// (A-delivered messages count as received).
+  bool rcv(const IdSet& ids) const;
+
+  // Observability.
+  const IdSet& unordered() const { return unordered_; }
+  std::size_t ordered_backlog() const { return ordered_.size(); }
+  std::size_t delivered_count() const { return delivered_.size(); }
+  consensus::InstanceId instances_completed() const { return applied_k_; }
+  bool instance_in_flight() const { return inflight_.has_value(); }
+  bool is_delivered(const MessageId& id) const {
+    return delivered_.contains(id);
+  }
+  /// First ordered-but-undelivered id, if any (a permanently stuck head
+  /// is how the §2.2 validity violation manifests).
+  std::optional<MessageId> blocked_head() const;
+
+ private:
+  void maybe_start_instance();
+  void apply_decision(consensus::InstanceId k, const IdSet& ids);
+  void try_deliver();
+
+  Callbacks callbacks_;
+  std::unordered_map<MessageId, Bytes> received_;  // payload pending use
+  std::unordered_set<MessageId> delivered_;
+  IdSet unordered_;
+  std::deque<MessageId> ordered_;
+  std::unordered_set<MessageId> ordered_set_;  // mirror of ordered_
+  consensus::InstanceId applied_k_ = 0;
+  std::optional<consensus::InstanceId> inflight_;
+  std::map<consensus::InstanceId, IdSet> pending_decisions_;
+};
+
+}  // namespace ibc::core

@@ -1,0 +1,49 @@
+// Failure-detector abstraction.
+//
+// The consensus algorithms of the paper are built on the unreliable
+// failure detector class ♦S (Chandra & Toueg [2]): *strong completeness*
+// (every crashed process is eventually suspected by every correct process)
+// and *eventual weak accuracy* (eventually some correct process is never
+// suspected). Consensus code consumes the interface below; three
+// implementations are provided:
+//
+//   * HeartbeatFd  — heartbeat + adaptive timeout; implements ♦P ⊆ ♦S in
+//                    any run with bounded (eventually stable) delays.
+//   * PerfectFd    — simulation oracle; suspects exactly the crashed
+//                    processes, immediately. Implements P (⊆ ♦P ⊆ ♦S).
+//   * ScriptedFd   — fully test-controlled suspicion lists, for
+//                    deterministic adversarial schedules.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/types.hpp"
+
+namespace ibc::fd {
+
+class FailureDetector {
+ public:
+  /// (process, suspected?) — fired on every suspicion-state transition.
+  using Listener = std::function<void(ProcessId, bool)>;
+
+  virtual ~FailureDetector() = default;
+
+  /// Current suspicion state of `p` ("p ∈ D_q" in the paper).
+  virtual bool is_suspected(ProcessId p) const = 0;
+
+  /// Registers a listener for suspicion-state transitions. Consensus
+  /// phases that block on "received proposal ∨ coordinator suspected" use
+  /// this to wake up instead of polling.
+  void subscribe(Listener fn) { listeners_.push_back(std::move(fn)); }
+
+ protected:
+  void notify(ProcessId p, bool suspected) const {
+    for (const Listener& fn : listeners_) fn(p, suspected);
+  }
+
+ private:
+  std::vector<Listener> listeners_;
+};
+
+}  // namespace ibc::fd

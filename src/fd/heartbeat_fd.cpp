@@ -1,0 +1,74 @@
+#include "fd/heartbeat_fd.hpp"
+
+#include "util/assert.hpp"
+
+namespace ibc::fd {
+
+namespace {
+// The heartbeat message carries no payload; its arrival is the signal.
+constexpr std::uint8_t kHeartbeat = 1;
+}  // namespace
+
+HeartbeatFd::HeartbeatFd(runtime::Stack& stack, runtime::LayerId layer_id,
+                         HeartbeatConfig config)
+    : ctx_(stack.register_layer(layer_id, *this, "fd")),
+      config_(config),
+      last_heard_(ctx_.n() + 1, 0),
+      timeout_(ctx_.n() + 1, config.initial_timeout),
+      suspected_(ctx_.n() + 1, false) {
+  IBC_REQUIRE(config.interval > 0);
+  IBC_REQUIRE(config.initial_timeout > 0);
+}
+
+bool HeartbeatFd::is_suspected(ProcessId p) const {
+  IBC_REQUIRE(p >= 1 && p <= ctx_.n());
+  return suspected_[p];
+}
+
+Duration HeartbeatFd::timeout_of(ProcessId p) const {
+  IBC_REQUIRE(p >= 1 && p <= ctx_.n());
+  return timeout_[p];
+}
+
+void HeartbeatFd::on_start() {
+  const TimePoint start = ctx_.now();
+  for (ProcessId p = 1; p <= ctx_.n(); ++p) last_heard_[p] = start;
+  tick();
+}
+
+void HeartbeatFd::on_message(ProcessId from, Reader& r) {
+  const std::uint8_t tag = r.u8();
+  IBC_ASSERT(tag == kHeartbeat);
+  last_heard_[from] = ctx_.now();
+  if (suspected_[from]) {
+    // False suspicion: clear it and learn a longer timeout.
+    suspected_[from] = false;
+    timeout_[from] += config_.timeout_increment;
+    ctx_.log().logf(LogLevel::kDebug, "unsuspect p%u (timeout now %s)",
+                    from, format_duration(timeout_[from]).c_str());
+    notify(from, false);
+  }
+}
+
+void HeartbeatFd::tick() {
+  // Send our heartbeat...
+  Writer w(1);
+  w.u8(kHeartbeat);
+  const Bytes hb = w.take();
+  ctx_.send_to_others(hb);
+
+  // ...and check everyone's freshness.
+  const TimePoint now = ctx_.now();
+  for (ProcessId p = 1; p <= ctx_.n(); ++p) {
+    if (p == ctx_.self() || suspected_[p]) continue;
+    if (now - last_heard_[p] > timeout_[p]) {
+      suspected_[p] = true;
+      ctx_.log().logf(LogLevel::kDebug, "suspect p%u", p);
+      notify(p, true);
+    }
+  }
+
+  ctx_.set_timer(config_.interval, [this] { tick(); });
+}
+
+}  // namespace ibc::fd

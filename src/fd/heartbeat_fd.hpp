@@ -1,0 +1,50 @@
+// Heartbeat failure detector (♦P, hence ♦S).
+//
+// Every process broadcasts a heartbeat each `interval`. A process q is
+// suspected when no heartbeat arrived for `timeout(q)`. A heartbeat from a
+// currently-suspected process clears the suspicion and *increases* that
+// process's timeout by `timeout_increment` — the standard adaptation that
+// yields eventual accuracy once message delays stabilize: after finitely
+// many false suspicions the timeout exceeds the actual delay bound.
+#pragma once
+
+#include <vector>
+
+#include "fd/failure_detector.hpp"
+#include "runtime/stack.hpp"
+#include "util/time.hpp"
+
+namespace ibc::fd {
+
+struct HeartbeatConfig {
+  Duration interval = milliseconds(20);          // heartbeat period
+  Duration initial_timeout = milliseconds(100);  // first suspicion delay
+  Duration timeout_increment = milliseconds(50); // growth after a mistake
+};
+
+class HeartbeatFd final : public runtime::Layer, public FailureDetector {
+ public:
+  /// Registers under `layer_id` (conventionally runtime::kLayerFd).
+  HeartbeatFd(runtime::Stack& stack, runtime::LayerId layer_id,
+              HeartbeatConfig config);
+
+  bool is_suspected(ProcessId p) const override;
+
+  // Layer:
+  void on_start() override;
+  void on_message(ProcessId from, Reader& r) override;
+
+  /// Current timeout for `p` (test observability).
+  Duration timeout_of(ProcessId p) const;
+
+ private:
+  void tick();
+
+  runtime::LayerContext ctx_;
+  HeartbeatConfig config_;
+  std::vector<TimePoint> last_heard_;  // [1..n]
+  std::vector<Duration> timeout_;      // [1..n]
+  std::vector<bool> suspected_;        // [1..n]
+};
+
+}  // namespace ibc::fd

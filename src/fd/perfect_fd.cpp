@@ -1,0 +1,31 @@
+#include "fd/perfect_fd.hpp"
+
+#include "util/assert.hpp"
+
+namespace ibc::fd {
+
+PerfectFd::PerfectFd(runtime::Env& env, net::SimNetwork& net,
+                     Duration detection_delay)
+    : suspected_(net.n() + 1, false) {
+  IBC_REQUIRE(detection_delay >= 0);
+  // Lifetime: this object must outlive the network (both are owned by the
+  // same harness and torn down together).
+  net.subscribe_crash([this, &env, detection_delay](ProcessId p) {
+    if (detection_delay == 0) {
+      suspected_[p] = true;
+      notify(p, true);
+    } else {
+      env.set_timer(detection_delay, [this, p] {
+        suspected_[p] = true;
+        notify(p, true);
+      });
+    }
+  });
+}
+
+bool PerfectFd::is_suspected(ProcessId p) const {
+  IBC_REQUIRE(p >= 1 && p < suspected_.size());
+  return suspected_[p];
+}
+
+}  // namespace ibc::fd

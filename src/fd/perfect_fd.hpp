@@ -1,0 +1,31 @@
+// Simulation-oracle failure detector (class P).
+//
+// Subscribes to the simulated network's crash notifications and suspects
+// exactly the crashed processes, with a configurable detection delay.
+// Never makes mistakes — handy for fast deterministic tests and for
+// benchmarking protocol cost without false-suspicion noise. Only exists in
+// the simulator (a real network has no crash oracle).
+#pragma once
+
+#include <vector>
+
+#include "fd/failure_detector.hpp"
+#include "net/simnet.hpp"
+#include "runtime/env.hpp"
+
+namespace ibc::fd {
+
+class PerfectFd final : public FailureDetector {
+ public:
+  /// Suspicion is raised `detection_delay` after the actual crash (0 =
+  /// instantaneous). `env` must be the process's own environment.
+  PerfectFd(runtime::Env& env, net::SimNetwork& net,
+            Duration detection_delay = 0);
+
+  bool is_suspected(ProcessId p) const override;
+
+ private:
+  std::vector<bool> suspected_;  // [1..n]
+};
+
+}  // namespace ibc::fd

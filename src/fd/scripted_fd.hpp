@@ -1,0 +1,37 @@
+// Test-controlled failure detector.
+//
+// Deterministic adversarial schedules (the §2.2 violation, the MR adoption
+// dilemma, resilience-boundary tests) need exact control over who suspects
+// whom and when. ScriptedFd's suspicion list changes only when the test
+// says so.
+#pragma once
+
+#include <unordered_set>
+
+#include "fd/failure_detector.hpp"
+
+namespace ibc::fd {
+
+class ScriptedFd final : public FailureDetector {
+ public:
+  ScriptedFd() = default;
+
+  bool is_suspected(ProcessId p) const override {
+    return suspected_.contains(p);
+  }
+
+  /// Adds `p` to the suspicion list (fires listeners on transition).
+  void suspect(ProcessId p) {
+    if (suspected_.insert(p).second) notify(p, true);
+  }
+
+  /// Removes `p` from the suspicion list (fires listeners on transition).
+  void restore(ProcessId p) {
+    if (suspected_.erase(p) > 0) notify(p, false);
+  }
+
+ private:
+  std::unordered_set<ProcessId> suspected_;
+};
+
+}  // namespace ibc::fd

@@ -1,0 +1,54 @@
+#include "net/netmodel.hpp"
+
+namespace ibc::net {
+
+NetModel NetModel::setup1() {
+  // Calibrated against the paper's Figure 3: latency floor ~1.2-1.7 ms
+  // for n=3..5 at low rate; n=5 climbs to tens of ms near 800 msg/s.
+  NetModel m;
+  m.send_overhead = microseconds(60);
+  m.recv_overhead = microseconds(60);
+  m.cpu_per_byte_send = nanoseconds(25);
+  m.cpu_per_byte_recv = nanoseconds(25);
+  m.bandwidth_bytes_per_sec = 12.5e6;  // 100 Mb/s
+  m.propagation = microseconds(150);
+  m.jitter = microseconds(15);
+  m.self_delivery_cost = microseconds(20);
+  m.header_bytes = 60;
+  m.rcv_check_cost_per_id = microseconds(2);
+  return m;
+}
+
+NetModel NetModel::setup2() {
+  // Calibrated against the paper's Figures 5-7: sub-millisecond floor at
+  // 500 msg/s, URB-based stack degrading markedly towards 2000 msg/s.
+  NetModel m;
+  m.send_overhead = microseconds(55);
+  m.recv_overhead = microseconds(55);
+  m.cpu_per_byte_send = nanoseconds(4);
+  m.cpu_per_byte_recv = nanoseconds(4);
+  m.bandwidth_bytes_per_sec = 125e6;  // 1 Gb/s
+  m.propagation = microseconds(50);
+  m.jitter = microseconds(8);
+  m.self_delivery_cost = microseconds(5);
+  m.header_bytes = 60;
+  m.rcv_check_cost_per_id = nanoseconds(400);
+  return m;
+}
+
+NetModel NetModel::fast_test() {
+  NetModel m;
+  m.send_overhead = 0;
+  m.recv_overhead = 0;
+  m.cpu_per_byte_send = 0;
+  m.cpu_per_byte_recv = 0;
+  m.bandwidth_bytes_per_sec = 1e12;
+  m.propagation = milliseconds(1);
+  m.jitter = 0;
+  m.self_delivery_cost = 0;
+  m.header_bytes = 0;
+  m.rcv_check_cost_per_id = 0;
+  return m;
+}
+
+}  // namespace ibc::net

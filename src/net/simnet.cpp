@@ -1,0 +1,226 @@
+#include "net/simnet.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ibc::net {
+
+namespace {
+// A transfer with less than this many bytes left is complete (absorbs
+// floating-point residue from processor-sharing accounting).
+constexpr double kByteEpsilon = 1e-6;
+}  // namespace
+
+SimNetwork::SimNetwork(sim::Scheduler& sched, std::uint32_t n,
+                       NetModel model, Rng rng)
+    : sched_(sched),
+      n_(n),
+      model_(model),
+      rng_(rng.fork("simnet")),
+      crashed_(n + 1, false),
+      cpu_busy_until_(n + 1, 0),
+      nics_(n + 1),
+      sent_by_(n + 1, 0),
+      delivered_to_(n + 1, 0) {
+  IBC_REQUIRE(n >= 1);
+  IBC_REQUIRE(model.bandwidth_bytes_per_sec > 0);
+}
+
+Duration SimNetwork::draw_jitter() {
+  if (model_.jitter <= 0) return 0;
+  return rng_.next_in(0, model_.jitter);
+}
+
+TimePoint SimNetwork::cpu_enqueue(ProcessId p, Duration cost) {
+  IBC_ASSERT(cost >= 0);
+  const TimePoint start = std::max(sched_.now(), cpu_busy_until_[p]);
+  cpu_busy_until_[p] = start + cost;
+  return cpu_busy_until_[p];
+}
+
+void SimNetwork::charge_cpu(ProcessId p, Duration cost) {
+  check_pid(p);
+  if (crashed_[p] || cost <= 0) return;
+  cpu_enqueue(p, cost);
+}
+
+void SimNetwork::send(ProcessId src, ProcessId dst, Bytes msg) {
+  check_pid(src);
+  check_pid(dst);
+  if (crashed_[src]) return;
+
+  ++counters_.messages_sent;
+  counters_.payload_bytes_sent += msg.size();
+  ++sent_by_[src];
+  if (sent_hook_) sent_hook_(src, dst, msg);
+
+  auto shared = std::make_shared<const Bytes>(std::move(msg));
+
+  if (dst == src) {
+    // Loopback: a flat CPU cost, no NIC, no propagation.
+    const TimePoint done = cpu_enqueue(src, model_.self_delivery_cost);
+    sched_.schedule_at(done, [this, src, dst, shared] {
+      if (!crashed_[src]) deliver_now(src, dst, shared);
+    });
+    return;
+  }
+
+  counters_.wire_bytes_sent += shared->size() + model_.header_bytes;
+  const Duration cost =
+      model_.send_overhead +
+      static_cast<Duration>(shared->size()) * model_.cpu_per_byte_send;
+  const TimePoint done = cpu_enqueue(src, cost);
+  sched_.schedule_at(done, [this, src, dst, shared] {
+    // The CPU task dies with the process: a crash between enqueue and
+    // completion drops the message before it reaches the NIC.
+    if (crashed_[src]) {
+      ++counters_.messages_dropped;
+      return;
+    }
+    nic_add(src, dst, shared);
+  });
+}
+
+void SimNetwork::nic_add(ProcessId src, ProcessId dst,
+                         std::shared_ptr<const Bytes> msg) {
+  Nic& nic = nics_[src];
+  // Bring PS accounting up to date before changing the active set.
+  const TimePoint now = sched_.now();
+  if (!nic.active.empty()) {
+    const double elapsed = static_cast<double>(now - nic.last_update);
+    const double share =
+        elapsed * bytes_per_ns() / static_cast<double>(nic.active.size());
+    for (Transfer& t : nic.active) t.remaining_bytes -= share;
+  }
+  nic.last_update = now;
+
+  const double wire_bytes =
+      static_cast<double>(msg->size() + model_.header_bytes);
+  nic.active.push_back(Transfer{dst, std::move(msg), wire_bytes});
+  nic_update(src);
+}
+
+void SimNetwork::nic_update(ProcessId src) {
+  Nic& nic = nics_[src];
+  const TimePoint now = sched_.now();
+
+  if (nic.completion_event != 0) {
+    sched_.cancel(nic.completion_event);
+    nic.completion_event = 0;
+  }
+
+  if (!nic.active.empty() && now > nic.last_update) {
+    const double elapsed = static_cast<double>(now - nic.last_update);
+    const double share =
+        elapsed * bytes_per_ns() / static_cast<double>(nic.active.size());
+    for (Transfer& t : nic.active) t.remaining_bytes -= share;
+  }
+  nic.last_update = now;
+
+  // Complete everything that has (numerically) finished.
+  for (std::size_t i = 0; i < nic.active.size();) {
+    if (nic.active[i].remaining_bytes <= kByteEpsilon) {
+      Transfer done = std::move(nic.active[i]);
+      nic.active.erase(nic.active.begin() + static_cast<std::ptrdiff_t>(i));
+      wire_transit(src, done.dst, std::move(done.msg));
+    } else {
+      ++i;
+    }
+  }
+
+  if (nic.active.empty()) return;
+
+  double min_remaining = nic.active.front().remaining_bytes;
+  for (const Transfer& t : nic.active)
+    min_remaining = std::min(min_remaining, t.remaining_bytes);
+
+  const double rate =
+      bytes_per_ns() / static_cast<double>(nic.active.size());
+  const auto dt = static_cast<Duration>(std::ceil(min_remaining / rate));
+  nic.completion_event =
+      sched_.schedule_after(std::max<Duration>(dt, 1),
+                            [this, src] { nic_update(src); });
+}
+
+void SimNetwork::wire_transit(ProcessId src, ProcessId dst,
+                              std::shared_ptr<const Bytes> msg) {
+  const Duration transit = model_.propagation + draw_jitter();
+  sched_.schedule_after(transit, [this, src, dst, msg = std::move(msg)] {
+    arrive(src, dst, msg);
+  });
+}
+
+void SimNetwork::arrive(ProcessId src, ProcessId dst,
+                        std::shared_ptr<const Bytes> msg) {
+  if (crashed_[dst]) {
+    ++counters_.messages_dropped;
+    return;
+  }
+  const Duration cost =
+      model_.recv_overhead +
+      static_cast<Duration>(msg->size()) * model_.cpu_per_byte_recv;
+  const TimePoint done = cpu_enqueue(dst, cost);
+  sched_.schedule_at(done, [this, src, dst, msg = std::move(msg)] {
+    if (!crashed_[dst]) deliver_now(src, dst, msg);
+  });
+}
+
+void SimNetwork::deliver_now(ProcessId src, ProcessId dst,
+                             std::shared_ptr<const Bytes> msg) {
+  ++counters_.messages_delivered;
+  ++delivered_to_[dst];
+  if (delivered_hook_) delivered_hook_(src, dst, *msg);
+  // The hook may have crashed the destination (scripted scenarios).
+  if (crashed_[dst]) {
+    ++counters_.messages_dropped;
+    return;
+  }
+  IBC_ASSERT_MSG(deliver_ != nullptr, "SimNetwork: no deliver callback set");
+  deliver_(src, dst, *msg);
+}
+
+void SimNetwork::crash(ProcessId p) {
+  check_pid(p);
+  if (crashed_[p]) return;
+  crashed_[p] = true;
+
+  // Outgoing transfers die with the host; partially-sent data is lost.
+  Nic& nic = nics_[p];
+  counters_.messages_dropped += nic.active.size();
+  nic.active.clear();
+  if (nic.completion_event != 0) {
+    sched_.cancel(nic.completion_event);
+    nic.completion_event = 0;
+  }
+
+  for (const CrashListener& fn : crash_listeners_) fn(p);
+}
+
+void SimNetwork::crash_at(TimePoint t, ProcessId p) {
+  check_pid(p);
+  sched_.schedule_at(t, [this, p] { crash(p); });
+}
+
+bool SimNetwork::crashed(ProcessId p) const {
+  check_pid(p);
+  return crashed_[p];
+}
+
+std::uint32_t SimNetwork::alive_count() const {
+  std::uint32_t alive = 0;
+  for (ProcessId p = 1; p <= n_; ++p)
+    if (!crashed_[p]) ++alive;
+  return alive;
+}
+
+std::uint64_t SimNetwork::messages_sent_by(ProcessId p) const {
+  check_pid(p);
+  return sent_by_[p];
+}
+
+std::uint64_t SimNetwork::messages_delivered_to(ProcessId p) const {
+  check_pid(p);
+  return delivered_to_[p];
+}
+
+}  // namespace ibc::net

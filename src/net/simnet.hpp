@@ -1,0 +1,158 @@
+// Simulated LAN connecting n processes.
+//
+// Implements the NetModel cost pipeline on top of the discrete-event
+// scheduler:
+//
+//   send ──► sender CPU (FIFO) ──► sender NIC (processor sharing)
+//        ──► propagation + jitter ──► receiver CPU (FIFO) ──► deliver
+//
+// Channels are reliable (no loss, no duplication, no corruption) as the
+// paper assumes; the only failures are process crashes. Crash semantics:
+// a crashed process stops sending and receiving instantly; its queued CPU
+// work and partially-transmitted NIC transfers are discarded, but messages
+// already fully on the wire (in propagation) still arrive — this mirrors a
+// host dying mid-TCP-stream and is what makes the paper's §2.2
+// validity-violation scenario reproducible.
+//
+// The NIC uses processor sharing across concurrent outgoing transfers
+// (concurrent TCP streams on one link), so a small consensus message can
+// complete while a large payload is still streaming.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/netmodel.hpp"
+#include "sim/scheduler.hpp"
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/types.hpp"
+
+namespace ibc::net {
+
+class SimNetwork {
+ public:
+  /// Delivery callback into the runtime: (src, dst, message bytes). The
+  /// view is valid only for the duration of the call.
+  using DeliverFn = std::function<void(ProcessId, ProcessId, BytesView)>;
+
+  /// Observation hook: (src, dst, message bytes). Used by tests and the
+  /// crash-scenario scripts; must not mutate the network beyond calling
+  /// crash().
+  using MessageHook = std::function<void(ProcessId, ProcessId, BytesView)>;
+
+  using CrashListener = std::function<void(ProcessId)>;
+
+  SimNetwork(sim::Scheduler& sched, std::uint32_t n, NetModel model,
+             Rng rng);
+
+  std::uint32_t n() const { return n_; }
+  const NetModel& model() const { return model_; }
+  sim::Scheduler& scheduler() { return sched_; }
+
+  /// Installs the runtime's delivery callback. Must be set before the
+  /// first delivery fires.
+  void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
+
+  /// Sends `msg` from `src` to `dst` (which may equal `src`: loopback
+  /// path, no NIC). No-op if `src` already crashed.
+  void send(ProcessId src, ProcessId dst, Bytes msg);
+
+  /// Crashes `p` now: all its pending CPU work and outgoing NIC transfers
+  /// are dropped, future sends/receives are ignored, crash listeners fire.
+  /// Idempotent.
+  void crash(ProcessId p);
+
+  /// Schedules a crash of `p` at absolute time `t`.
+  void crash_at(TimePoint t, ProcessId p);
+
+  bool crashed(ProcessId p) const;
+
+  /// Number of processes not crashed.
+  std::uint32_t alive_count() const;
+
+  /// Adds `cost` of CPU work at `p` (delays everything behind it in p's
+  /// CPU queue). Used to model protocol-internal costs such as the `rcv`
+  /// check of indirect consensus.
+  void charge_cpu(ProcessId p, Duration cost);
+
+  /// Registers a listener invoked (synchronously) when a process crashes.
+  void subscribe_crash(CrashListener fn) {
+    crash_listeners_.push_back(std::move(fn));
+  }
+
+  /// Hook invoked when a send is accepted (before any cost is charged).
+  void set_sent_hook(MessageHook fn) { sent_hook_ = std::move(fn); }
+
+  /// Hook invoked just before a message is delivered to `dst`'s stack.
+  void set_delivered_hook(MessageHook fn) {
+    delivered_hook_ = std::move(fn);
+  }
+
+  struct Counters {
+    std::uint64_t messages_sent = 0;       // accepted sends (incl. self)
+    std::uint64_t messages_delivered = 0;  // reached a live destination
+    std::uint64_t messages_dropped = 0;    // lost to crashes
+    std::uint64_t payload_bytes_sent = 0;  // excl. header_bytes
+    std::uint64_t wire_bytes_sent = 0;     // incl. header, excl. loopback
+  };
+  const Counters& counters() const { return counters_; }
+
+  std::uint64_t messages_sent_by(ProcessId p) const;
+  std::uint64_t messages_delivered_to(ProcessId p) const;
+
+ private:
+  struct Transfer {
+    ProcessId dst = kInvalidProcess;
+    std::shared_ptr<const Bytes> msg;
+    double remaining_bytes = 0.0;
+  };
+  struct Nic {
+    std::vector<Transfer> active;
+    TimePoint last_update = 0;
+    sim::EventId completion_event = 0;  // 0 = none scheduled
+  };
+
+  /// Appends `cost` to p's CPU queue; returns the completion time.
+  TimePoint cpu_enqueue(ProcessId p, Duration cost);
+
+  void nic_add(ProcessId src, ProcessId dst,
+               std::shared_ptr<const Bytes> msg);
+  /// Advances PS accounting of src's NIC to `now`, completes finished
+  /// transfers (handing them to the wire), and reschedules the next
+  /// completion event.
+  void nic_update(ProcessId src);
+  void wire_transit(ProcessId src, ProcessId dst,
+                    std::shared_ptr<const Bytes> msg);
+  void arrive(ProcessId src, ProcessId dst,
+              std::shared_ptr<const Bytes> msg);
+  void deliver_now(ProcessId src, ProcessId dst,
+                   std::shared_ptr<const Bytes> msg);
+
+  double bytes_per_ns() const { return model_.bandwidth_bytes_per_sec / 1e9; }
+  Duration draw_jitter();
+  void check_pid(ProcessId p) const {
+    IBC_REQUIRE(p >= 1 && p <= n_);
+  }
+
+  sim::Scheduler& sched_;
+  std::uint32_t n_;
+  NetModel model_;
+  Rng rng_;
+
+  DeliverFn deliver_;
+  MessageHook sent_hook_;
+  MessageHook delivered_hook_;
+  std::vector<CrashListener> crash_listeners_;
+
+  std::vector<bool> crashed_;            // [1..n]
+  std::vector<TimePoint> cpu_busy_until_;  // [1..n]
+  std::vector<Nic> nics_;                // [1..n]
+
+  Counters counters_;
+  std::vector<std::uint64_t> sent_by_;
+  std::vector<std::uint64_t> delivered_to_;
+};
+
+}  // namespace ibc::net

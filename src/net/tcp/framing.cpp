@@ -1,0 +1,34 @@
+#include "net/tcp/framing.hpp"
+
+namespace ibc::net::tcp {
+
+void encode_frame(BytesView payload, Bytes& out) {
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  out.reserve(out.size() + 4 + payload.size());
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  out.insert(out.end(), payload.begin(), payload.end());
+}
+
+bool FrameDecoder::feed(BytesView chunk, const FrameFn& on_frame) {
+  buffer_.insert(buffer_.end(), chunk.begin(), chunk.end());
+  std::size_t pos = 0;
+  while (buffer_.size() - pos >= 4) {
+    const std::uint32_t len = static_cast<std::uint32_t>(buffer_[pos]) |
+                              (static_cast<std::uint32_t>(buffer_[pos + 1])
+                               << 8) |
+                              (static_cast<std::uint32_t>(buffer_[pos + 2])
+                               << 16) |
+                              (static_cast<std::uint32_t>(buffer_[pos + 3])
+                               << 24);
+    if (len > kMaxFrame) return false;
+    if (buffer_.size() - pos - 4 < len) break;  // incomplete frame
+    on_frame(BytesView(buffer_.data() + pos + 4, len));
+    pos += 4 + len;
+  }
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return true;
+}
+
+}  // namespace ibc::net::tcp

@@ -1,0 +1,37 @@
+// Length-prefixed framing for the TCP transport.
+//
+// Wire format per frame: u32 little-endian payload length, then the
+// payload (the runtime's layer envelope). The decoder is incremental:
+// feed it arbitrary byte chunks, collect whole frames.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+#include "util/bytes.hpp"
+
+namespace ibc::net::tcp {
+
+/// Appends one frame to `out`.
+void encode_frame(BytesView payload, Bytes& out);
+
+/// Incremental frame decoder (one per connection).
+class FrameDecoder {
+ public:
+  /// Maximum accepted frame, a sanity bound against corrupted streams.
+  static constexpr std::size_t kMaxFrame = 64 * 1024 * 1024;
+
+  using FrameFn = std::function<void(BytesView)>;
+
+  /// Consumes `chunk`, invoking `on_frame` for every completed frame.
+  /// Returns false if the stream is malformed (oversized frame).
+  bool feed(BytesView chunk, const FrameFn& on_frame);
+
+  /// Bytes buffered waiting for the rest of a frame.
+  std::size_t pending() const { return buffer_.size(); }
+
+ private:
+  Bytes buffer_;
+};
+
+}  // namespace ibc::net::tcp

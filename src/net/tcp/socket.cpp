@@ -1,0 +1,81 @@
+#include "net/tcp/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace ibc::net::tcp {
+
+void Fd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<Fd, std::uint16_t> listen_loopback() {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  IBC_REQUIRE(fd.valid());
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = 0;  // ephemeral
+  IBC_REQUIRE(::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                     sizeof addr) == 0);
+  IBC_REQUIRE(::listen(fd.get(), 64) == 0);
+
+  socklen_t len = sizeof addr;
+  IBC_REQUIRE(::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                            &len) == 0);
+  return {std::move(fd), ntohs(addr.sin_port)};
+}
+
+Fd connect_loopback(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  IBC_REQUIRE(fd.valid());
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  IBC_REQUIRE_MSG(::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                            sizeof addr) == 0,
+                  "loopback connect failed");
+  return fd;
+}
+
+Fd accept_one(const Fd& listener) {
+  Fd fd(::accept(listener.get(), nullptr, nullptr));
+  IBC_REQUIRE_MSG(fd.valid(), "accept failed");
+  return fd;
+}
+
+void make_nonblocking_nodelay(const Fd& fd) {
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  IBC_REQUIRE(flags >= 0);
+  IBC_REQUIRE(::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) == 0);
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+std::pair<Fd, Fd> make_wakeup_pipe() {
+  int fds[2];
+  IBC_REQUIRE(::pipe(fds) == 0);
+  Fd read_end(fds[0]), write_end(fds[1]);
+  make_nonblocking_nodelay(read_end);  // NODELAY is a no-op on pipes
+  const int flags = ::fcntl(write_end.get(), F_GETFL, 0);
+  ::fcntl(write_end.get(), F_SETFL, flags | O_NONBLOCK);
+  return {std::move(read_end), std::move(write_end)};
+}
+
+}  // namespace ibc::net::tcp

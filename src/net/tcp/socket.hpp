@@ -1,0 +1,51 @@
+// RAII POSIX socket helpers for the loopback TCP transport.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+namespace ibc::net::tcp {
+
+/// Owning file descriptor. Closes on destruction; move-only.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = std::exchange(other.fd_, -1);
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a TCP listener bound to 127.0.0.1 on an ephemeral port;
+/// returns the socket and the chosen port.
+std::pair<Fd, std::uint16_t> listen_loopback();
+
+/// Blocking connect to 127.0.0.1:port.
+Fd connect_loopback(std::uint16_t port);
+
+/// Blocking accept.
+Fd accept_one(const Fd& listener);
+
+/// Switches a socket to non-blocking mode and disables Nagle.
+void make_nonblocking_nodelay(const Fd& fd);
+
+/// Creates a self-pipe used to wake a poll loop; returns {read, write}.
+std::pair<Fd, Fd> make_wakeup_pipe();
+
+}  // namespace ibc::net::tcp

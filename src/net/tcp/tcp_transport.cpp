@@ -1,0 +1,305 @@
+#include "net/tcp/tcp_transport.hpp"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "util/assert.hpp"
+
+namespace ibc::net::tcp {
+
+namespace {
+
+TimePoint steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+TcpEnv::TcpEnv(ProcessId self, std::uint32_t n, Rng rng, TimePoint epoch_ns)
+    : self_(self),
+      n_(n),
+      epoch_ns_(epoch_ns),
+      rng_(rng),
+      log_("p" + std::to_string(self) + "/tcp",
+           [this] { return now(); }),
+      peers_(n + 1) {
+  auto [r, w] = make_wakeup_pipe();
+  wake_r_ = std::move(r);
+  wake_w_ = std::move(w);
+}
+
+TcpEnv::~TcpEnv() { request_stop(); }
+
+TimePoint TcpEnv::now() const { return steady_ns() - epoch_ns_; }
+
+void TcpEnv::wake() {
+  const char byte = 1;
+  // A full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] const ssize_t ignored =
+      ::write(wake_w_.get(), &byte, 1);
+}
+
+void TcpEnv::send(ProcessId dst, Bytes msg) {
+  IBC_REQUIRE(dst >= 1 && dst <= n_);
+  if (dst == self_) {
+    // Loopback: dispatch asynchronously on the reactor, like everyone
+    // else's messages.
+    defer([this, msg = std::move(msg)] {
+      if (receive_) receive_(self_, msg);
+    });
+    return;
+  }
+  {
+    const std::scoped_lock lock(mu_);
+    pending_sends_.emplace_back(dst, std::move(msg));
+  }
+  wake();
+}
+
+runtime::TimerId TcpEnv::set_timer(Duration delay, TimerFn fn) {
+  IBC_REQUIRE(delay >= 0);
+  IBC_REQUIRE(fn != nullptr);
+  runtime::TimerId id;
+  {
+    const std::scoped_lock lock(mu_);
+    id = next_timer_id_++;
+    timers_.push(PendingTimer{now() + delay, next_timer_seq_++, id,
+                              std::make_shared<TimerFn>(std::move(fn))});
+    live_timers_.insert(id);
+  }
+  wake();
+  return id;
+}
+
+void TcpEnv::cancel_timer(runtime::TimerId id) {
+  const std::scoped_lock lock(mu_);
+  live_timers_.erase(id);
+}
+
+void TcpEnv::defer(TimerFn fn) {
+  {
+    const std::scoped_lock lock(mu_);
+    tasks_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void TcpEnv::start_thread() {
+  thread_ = std::jthread([this](const std::stop_token& st) {
+    reactor_loop(st);
+  });
+}
+
+void TcpEnv::request_stop() {
+  if (thread_.joinable()) {
+    thread_.request_stop();
+    wake();
+    thread_.join();
+  }
+  for (Peer& peer : peers_) {
+    peer.fd.reset();
+    peer.open = false;
+  }
+}
+
+int TcpEnv::drain_inputs_and_timeout() {
+  const std::scoped_lock lock(mu_);
+  for (auto& [dst, msg] : pending_sends_) {
+    Peer& peer = peers_[dst];
+    if (!peer.open) continue;  // peer gone: reliable-channel-until-crash
+    encode_frame(msg, peer.outbuf);
+  }
+  pending_sends_.clear();
+
+  // Poll timeout from the earliest live timer (ms, rounded up).
+  while (!timers_.empty() &&
+         !live_timers_.contains(timers_.top().id)) {
+    timers_.pop();  // lazily discard cancelled timers
+  }
+  if (timers_.empty()) return 100;
+  const Duration until = timers_.top().deadline - now();
+  if (until <= 0) return 0;
+  const auto ms = static_cast<int>((until + kMillisecond - 1) / kMillisecond);
+  return std::min(ms, 100);
+}
+
+void TcpEnv::fire_due_timers() {
+  while (true) {
+    std::shared_ptr<TimerFn> fn;
+    {
+      const std::scoped_lock lock(mu_);
+      while (!timers_.empty() &&
+             !live_timers_.contains(timers_.top().id)) {
+        timers_.pop();
+      }
+      if (timers_.empty() || timers_.top().deadline > now()) return;
+      fn = timers_.top().fn;
+      live_timers_.erase(timers_.top().id);
+      timers_.pop();
+    }
+    (*fn)();  // run without the lock: timer code sends messages
+  }
+}
+
+void TcpEnv::run_posted_tasks() {
+  std::vector<TimerFn> batch;
+  {
+    const std::scoped_lock lock(mu_);
+    batch.swap(tasks_);
+  }
+  for (TimerFn& fn : batch) fn();
+}
+
+void TcpEnv::handle_readable(ProcessId peer_id) {
+  Peer& peer = peers_[peer_id];
+  std::uint8_t buf[64 * 1024];
+  while (peer.open) {
+    const ssize_t got = ::read(peer.fd.get(), buf, sizeof buf);
+    if (got > 0) {
+      const bool ok = peer.decoder.feed(
+          BytesView(buf, static_cast<std::size_t>(got)),
+          [this, peer_id](BytesView frame) {
+            if (receive_) receive_(peer_id, frame);
+          });
+      IBC_ASSERT_MSG(ok, "malformed TCP frame stream");
+      continue;
+    }
+    if (got == 0 ||
+        (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
+      // Peer crashed or closed: from now on it is silent, exactly like a
+      // crashed process in the model. The failure detector notices.
+      peer.open = false;
+      peer.fd.reset();
+    }
+    return;
+  }
+}
+
+void TcpEnv::handle_writable(ProcessId peer_id) {
+  Peer& peer = peers_[peer_id];
+  while (peer.open && !peer.outbuf.empty()) {
+    const ssize_t wrote =
+        ::write(peer.fd.get(), peer.outbuf.data(), peer.outbuf.size());
+    if (wrote > 0) {
+      peer.outbuf.erase(peer.outbuf.begin(), peer.outbuf.begin() + wrote);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
+    peer.open = false;  // connection reset
+    peer.fd.reset();
+    return;
+  }
+}
+
+void TcpEnv::reactor_loop(const std::stop_token& st) {
+  while (!st.stop_requested()) {
+    const int timeout_ms = drain_inputs_and_timeout();
+
+    std::vector<pollfd> pfds;
+    std::vector<ProcessId> owners;
+    pfds.push_back(pollfd{wake_r_.get(), POLLIN, 0});
+    owners.push_back(0);
+    for (ProcessId q = 1; q <= n_; ++q) {
+      Peer& peer = peers_[q];
+      if (!peer.open) continue;
+      short events = POLLIN;
+      if (!peer.outbuf.empty()) events |= POLLOUT;
+      pfds.push_back(pollfd{peer.fd.get(), events, 0});
+      owners.push_back(q);
+    }
+
+    ::poll(pfds.data(), pfds.size(), timeout_ms);
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      std::uint8_t sink[256];
+      while (::read(wake_r_.get(), sink, sizeof sink) > 0) {
+      }
+    }
+    for (std::size_t i = 1; i < pfds.size(); ++i) {
+      if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+        handle_readable(owners[i]);
+      if ((pfds[i].revents & POLLOUT) != 0) handle_writable(owners[i]);
+    }
+    fire_due_timers();
+    run_posted_tasks();
+  }
+}
+
+TcpCluster::TcpCluster(std::uint32_t n, std::uint64_t seed) {
+  IBC_REQUIRE(n >= 1);
+  const TimePoint epoch = steady_ns();
+  const Rng root(seed);
+  envs_.push_back(nullptr);  // 1-based
+  for (ProcessId p = 1; p <= n; ++p) {
+    envs_.push_back(std::make_unique<TcpEnv>(
+        p, n, root.fork("tcp-process", p), epoch));
+  }
+
+  // Full mesh: p dials every q > p; the hello frame identifies the
+  // dialer. Loopback connect succeeds against the listen backlog, so the
+  // whole mesh is wired synchronously from this one thread.
+  std::vector<Fd> listeners(n + 1);
+  std::vector<std::uint16_t> ports(n + 1, 0);
+  for (ProcessId p = 1; p <= n; ++p) {
+    auto [fd, port] = listen_loopback();
+    listeners[p] = std::move(fd);
+    ports[p] = port;
+  }
+  for (ProcessId p = 1; p <= n; ++p) {
+    for (ProcessId q = p + 1; q <= n; ++q) {
+      Fd dialer = connect_loopback(ports[q]);
+      const std::uint32_t hello = p;
+      IBC_REQUIRE(::write(dialer.get(), &hello, sizeof hello) ==
+                  sizeof hello);
+      Fd accepted = accept_one(listeners[q]);
+      std::uint32_t got = 0;
+      IBC_REQUIRE(::read(accepted.get(), &got, sizeof got) == sizeof got);
+      IBC_REQUIRE(got == p);
+
+      make_nonblocking_nodelay(dialer);
+      make_nonblocking_nodelay(accepted);
+      envs_[p]->peers_[q].fd = std::move(dialer);
+      envs_[p]->peers_[q].open = true;
+      envs_[q]->peers_[p].fd = std::move(accepted);
+      envs_[q]->peers_[p].open = true;
+    }
+  }
+}
+
+TcpCluster::~TcpCluster() {
+  for (ProcessId p = 1; p <= n(); ++p) envs_[p]->request_stop();
+}
+
+void TcpCluster::start() {
+  for (ProcessId p = 1; p <= n(); ++p) envs_[p]->start_thread();
+}
+
+void TcpCluster::post(ProcessId p, std::function<void()> fn) {
+  envs_[p]->defer(std::move(fn));
+}
+
+void TcpCluster::run_on(ProcessId p, std::function<void()> fn) {
+  std::mutex done_mu;
+  std::condition_variable done_cv;
+  bool done = false;
+  envs_[p]->defer([&fn, &done_mu, &done_cv, &done] {
+    fn();
+    {
+      const std::scoped_lock lock(done_mu);
+      done = true;
+    }
+    done_cv.notify_one();
+  });
+  std::unique_lock lock(done_mu);
+  done_cv.wait(lock, [&done] { return done; });
+}
+
+void TcpCluster::kill(ProcessId p) { envs_[p]->request_stop(); }
+
+}  // namespace ibc::net::tcp

@@ -1,0 +1,151 @@
+// Real TCP transport: the same protocol stacks over loopback sockets.
+//
+// `TcpCluster` hosts n processes inside one OS process, each with its own
+// reactor thread (poll loop) and a full mesh of TCP connections over
+// 127.0.0.1. It implements the same `runtime::Env` contract as the
+// simulator, so every layer — failure detector, broadcasts, consensus,
+// atomic broadcast — runs unmodified on real sockets: the Neko property
+// the paper's framework provides [9].
+//
+// Threading contract: each process's protocol code runs exclusively on
+// its reactor thread. External threads interact through `post` /
+// `run_on` (and the thread-safe Env methods, which internally hand work
+// to the reactor). Per Core Guidelines CP: jthread (no detach), RAII
+// sockets, scoped_lock around the small cross-thread state.
+//
+// Lifecycle:
+//   TcpCluster cluster(n);          // mesh established, reactors idle
+//   ...build one stack per process on cluster.env(p)...
+//   cluster.start();                // reactors spin up
+//   cluster.run_on(p, [&]{ stack.start(); });    // per-process start
+//   ...cluster.post(p, ...) to broadcast, etc...
+//   cluster.kill(p);                // optional: crash a process
+//   ~TcpCluster                     // stops and joins all reactors
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "net/tcp/framing.hpp"
+#include "net/tcp/socket.hpp"
+#include "runtime/env.hpp"
+
+namespace ibc::net::tcp {
+
+class TcpCluster;
+
+/// Env implementation backed by a reactor thread and TCP sockets.
+/// send/set_timer/cancel_timer/defer are thread-safe; receive and timer
+/// callbacks run on the reactor thread.
+class TcpEnv final : public runtime::Env {
+ public:
+  TcpEnv(ProcessId self, std::uint32_t n, Rng rng, TimePoint epoch_ns);
+  ~TcpEnv() override;
+
+  ProcessId self() const override { return self_; }
+  std::uint32_t n() const override { return n_; }
+  TimePoint now() const override;
+  void send(ProcessId dst, Bytes msg) override;
+  runtime::TimerId set_timer(Duration delay, TimerFn fn) override;
+  void cancel_timer(runtime::TimerId id) override;
+  void defer(TimerFn fn) override;
+  void charge_cpu(Duration) override {}  // real CPUs charge themselves
+  void set_receive(ReceiveFn fn) override { receive_ = std::move(fn); }
+  Rng& rng() override { return rng_; }
+  const Logger& log() const override { return log_; }
+
+ private:
+  friend class TcpCluster;
+
+  struct Peer {
+    Fd fd;
+    Bytes outbuf;       // bytes accepted but not yet written
+    FrameDecoder decoder;
+    bool open = false;
+  };
+  struct PendingTimer {
+    TimePoint deadline;
+    std::uint64_t seq;
+    runtime::TimerId id;
+    std::shared_ptr<TimerFn> fn;
+    bool operator>(const PendingTimer& other) const {
+      return deadline != other.deadline ? deadline > other.deadline
+                                        : seq > other.seq;
+    }
+  };
+
+  void start_thread();
+  void request_stop();
+  void reactor_loop(const std::stop_token& st);
+  void wake();
+  /// Moves queued sends into peer output buffers; returns poll timeout.
+  int drain_inputs_and_timeout();
+  void fire_due_timers();
+  void run_posted_tasks();
+  void handle_readable(ProcessId peer);
+  void handle_writable(ProcessId peer);
+
+  const ProcessId self_;
+  const std::uint32_t n_;
+  const TimePoint epoch_ns_;
+  Rng rng_;
+  Logger log_;
+  ReceiveFn receive_;
+
+  std::vector<Peer> peers_;  // [1..n]; peers_[self_] unused
+  Fd wake_r_, wake_w_;
+
+  std::mutex mu_;  // guards the four members below
+  std::vector<std::pair<ProcessId, Bytes>> pending_sends_;
+  std::vector<TimerFn> tasks_;
+  std::priority_queue<PendingTimer, std::vector<PendingTimer>,
+                      std::greater<>>
+      timers_;
+  std::unordered_set<runtime::TimerId> live_timers_;
+
+  std::uint64_t next_timer_id_ = 1;
+  std::uint64_t next_timer_seq_ = 0;
+  std::jthread thread_;  // joins on destruction (CP.25)
+};
+
+class TcpCluster {
+ public:
+  /// Establishes the full loopback mesh; reactors stay idle until
+  /// start().
+  explicit TcpCluster(std::uint32_t n, std::uint64_t seed = 1);
+
+  /// Stops and joins every reactor.
+  ~TcpCluster();
+
+  TcpCluster(const TcpCluster&) = delete;
+  TcpCluster& operator=(const TcpCluster&) = delete;
+
+  std::uint32_t n() const { return static_cast<std::uint32_t>(envs_.size() - 1); }
+  runtime::Env& env(ProcessId p) { return *envs_[p]; }
+
+  /// Launches the reactor threads. Build the protocol stacks (which call
+  /// env().set_receive) before this.
+  void start();
+
+  /// Enqueues `fn` on p's reactor thread (fire and forget).
+  void post(ProcessId p, std::function<void()> fn);
+
+  /// Runs `fn` on p's reactor thread and blocks until it completed.
+  void run_on(ProcessId p, std::function<void()> fn);
+
+  /// Simulated crash: stops p's reactor and closes its sockets; peers
+  /// observe the connection reset and the failure detector takes over.
+  void kill(ProcessId p);
+
+ private:
+  std::vector<std::unique_ptr<TcpEnv>> envs_;  // [1..n]
+};
+
+}  // namespace ibc::net::tcp

@@ -1,0 +1,74 @@
+// Environment abstraction between protocol layers and their host.
+//
+// Protocol code (failure detectors, broadcasts, consensus, atomic
+// broadcast) is written against `Env` only, never against the simulator or
+// sockets directly — the Neko property [9]: the same protocol implementation
+// runs deterministically inside the discrete-event simulator (`SimEnv`) and
+// on a real TCP network (`TcpEnv`).
+//
+// Threading contract: all callbacks into protocol code (receive handler,
+// timer callbacks, deferred functions) are serialized per process — a
+// protocol layer never needs a lock.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "util/bytes.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace ibc::runtime {
+
+/// Identifies a pending timer so it can be cancelled. 0 is never issued.
+using TimerId = std::uint64_t;
+
+class Env {
+ public:
+  using ReceiveFn = std::function<void(ProcessId from, BytesView msg)>;
+  using TimerFn = std::function<void()>;
+
+  virtual ~Env() = default;
+
+  /// This process's id (1-based).
+  virtual ProcessId self() const = 0;
+
+  /// Total number of processes in the group.
+  virtual std::uint32_t n() const = 0;
+
+  /// Current time (simulated or real, depending on the host).
+  virtual TimePoint now() const = 0;
+
+  /// Sends `msg` to `dst`; `dst == self()` is a valid loopback send.
+  /// Fire-and-forget: channels are reliable unless the sender crashes.
+  virtual void send(ProcessId dst, Bytes msg) = 0;
+
+  /// One-shot timer after `delay`; returns a handle for cancel_timer.
+  virtual TimerId set_timer(Duration delay, TimerFn fn) = 0;
+
+  /// Cancels a pending timer; no-op if it already fired or was cancelled.
+  virtual void cancel_timer(TimerId id) = 0;
+
+  /// Runs `fn` asynchronously on this process's execution context, after
+  /// the current callback returns.
+  virtual void defer(TimerFn fn) = 0;
+
+  /// Charges modeled CPU time (no-op outside the simulator). Protocols use
+  /// it to account for work whose real C++ cost is negligible but whose
+  /// cost in the paper's Java testbed is part of the measured effect.
+  virtual void charge_cpu(Duration cost) = 0;
+
+  /// Installs the message receive handler (exactly one per process; the
+  /// Stack registers itself here).
+  virtual void set_receive(ReceiveFn fn) = 0;
+
+  /// Deterministic per-process RNG stream.
+  virtual Rng& rng() = 0;
+
+  /// Logger stamped with this process's id and the host clock.
+  virtual const Logger& log() const = 0;
+};
+
+}  // namespace ibc::runtime

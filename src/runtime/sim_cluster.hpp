@@ -1,0 +1,83 @@
+// Simulation host: one Env per process on top of Scheduler + SimNetwork.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/netmodel.hpp"
+#include "net/simnet.hpp"
+#include "runtime/env.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ibc::runtime {
+
+/// Env implementation backed by the discrete-event simulator. Timer and
+/// receive callbacks stop firing once the process crashes in the network
+/// (a crashed process executes no further code).
+class SimEnv final : public Env {
+ public:
+  SimEnv(sim::Scheduler& sched, net::SimNetwork& net, ProcessId self,
+         Rng rng);
+
+  ProcessId self() const override { return self_; }
+  std::uint32_t n() const override { return net_.n(); }
+  TimePoint now() const override { return sched_.now(); }
+  void send(ProcessId dst, Bytes msg) override;
+  TimerId set_timer(Duration delay, TimerFn fn) override;
+  void cancel_timer(TimerId id) override;
+  void defer(TimerFn fn) override;
+  void charge_cpu(Duration cost) override;
+  void set_receive(ReceiveFn fn) override { receive_ = std::move(fn); }
+  Rng& rng() override { return rng_; }
+  const Logger& log() const override { return log_; }
+
+  /// Called by the cluster when the network delivers a message to self.
+  void handle_delivery(ProcessId from, BytesView msg);
+
+ private:
+  sim::Scheduler& sched_;
+  net::SimNetwork& net_;
+  ProcessId self_;
+  Rng rng_;
+  Logger log_;
+  ReceiveFn receive_;
+};
+
+/// A complete simulated group: scheduler, network, and one SimEnv per
+/// process. Protocol stacks are built by the caller on top of `env(p)`.
+class SimCluster {
+ public:
+  /// `seed` drives every random stream in the run (network jitter,
+  /// per-process RNGs); same (n, model, seed) => identical execution.
+  SimCluster(std::uint32_t n, const net::NetModel& model,
+             std::uint64_t seed);
+
+  std::uint32_t n() const { return net_.n(); }
+  sim::Scheduler& scheduler() { return sched_; }
+  net::SimNetwork& network() { return net_; }
+  Env& env(ProcessId p);
+
+  /// Crashes `p` at absolute simulated time `t`.
+  void crash_at(TimePoint t, ProcessId p) { net_.crash_at(t, p); }
+
+  /// Runs the simulation for `d` of simulated time from now.
+  std::size_t run_for(Duration d) {
+    return sched_.run_until(sched_.now() + d);
+  }
+
+  /// Runs until the event queue drains (or the safety limit fires).
+  std::size_t run_all(
+      std::size_t max_events = sim::Scheduler::kDefaultEventLimit) {
+    return sched_.run_all(max_events);
+  }
+
+  TimePoint now() const { return sched_.now(); }
+
+ private:
+  sim::Scheduler sched_;
+  net::SimNetwork net_;
+  std::vector<std::unique_ptr<SimEnv>> envs_;  // [1..n]
+};
+
+}  // namespace ibc::runtime

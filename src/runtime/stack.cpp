@@ -1,0 +1,86 @@
+#include "runtime/stack.hpp"
+
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ibc::runtime {
+
+LayerContext::LayerContext(Stack* stack, LayerId id, std::string name)
+    : stack_(stack), id_(id), log_(stack->env().log().child(name)) {}
+
+ProcessId LayerContext::self() const { return stack_->env().self(); }
+std::uint32_t LayerContext::n() const { return stack_->env().n(); }
+TimePoint LayerContext::now() const { return stack_->env().now(); }
+
+void LayerContext::send(ProcessId dst, BytesView payload) const {
+  stack_->send_from_layer(id_, dst, payload);
+}
+
+void LayerContext::send_to_all(BytesView payload) const {
+  const std::uint32_t count = n();
+  for (ProcessId p = 1; p <= count; ++p) send(p, payload);
+}
+
+void LayerContext::send_to_others(BytesView payload) const {
+  const std::uint32_t count = n();
+  const ProcessId me = self();
+  for (ProcessId p = 1; p <= count; ++p)
+    if (p != me) send(p, payload);
+}
+
+TimerId LayerContext::set_timer(Duration delay, Env::TimerFn fn) const {
+  return stack_->env().set_timer(delay, std::move(fn));
+}
+
+void LayerContext::cancel_timer(TimerId id) const {
+  stack_->env().cancel_timer(id);
+}
+
+void LayerContext::defer(Env::TimerFn fn) const {
+  stack_->env().defer(std::move(fn));
+}
+
+void LayerContext::charge_cpu(Duration cost) const {
+  stack_->env().charge_cpu(cost);
+}
+
+Rng& LayerContext::rng() const { return stack_->env().rng(); }
+
+Stack::Stack(Env& env) : env_(env) {
+  env_.set_receive([this](ProcessId from, BytesView msg) {
+    dispatch(from, msg);
+  });
+}
+
+LayerContext Stack::register_layer(LayerId id, Layer& layer,
+                                   std::string name) {
+  IBC_REQUIRE_MSG(!started_, "register_layer after start()");
+  const auto [it, inserted] = layers_.emplace(id, &layer);
+  IBC_REQUIRE_MSG(inserted, "duplicate layer id");
+  order_.push_back(&layer);
+  return LayerContext(this, id, std::move(name));
+}
+
+void Stack::start() {
+  IBC_REQUIRE(!started_);
+  started_ = true;
+  for (Layer* layer : order_) layer->on_start();
+}
+
+void Stack::dispatch(ProcessId from, BytesView envelope) {
+  Reader r(envelope);
+  const LayerId id = r.u16();
+  const auto it = layers_.find(id);
+  IBC_ASSERT_MSG(it != layers_.end(), "message for unregistered layer");
+  it->second->on_message(from, r);
+}
+
+void Stack::send_from_layer(LayerId id, ProcessId dst, BytesView payload) {
+  Writer w(payload.size() + 2);
+  w.u16(id);
+  w.raw(payload);
+  env_.send(dst, w.take());
+}
+
+}  // namespace ibc::runtime

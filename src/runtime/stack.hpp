@@ -1,0 +1,116 @@
+// Layered protocol stack and layer plumbing.
+//
+// A `Stack` multiplexes one process's wire messages between protocol
+// layers. Every wire message is an envelope `u16 layer-id | payload`; the
+// stack routes an incoming envelope to the layer registered under that id.
+// Layers hold a `LayerContext` that prepends their id on sends and scopes
+// timers/logging — so protocol code reads like the paper's pseudocode
+// ("send (p, r, estimate) to all") without transport details.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/env.hpp"
+#include "util/bytes.hpp"
+
+namespace ibc::runtime {
+
+/// Wire-level protocol multiplexing key. Well-known ids below; tests may
+/// use any unused value.
+using LayerId = std::uint16_t;
+
+inline constexpr LayerId kLayerFd = 1;         // heartbeat failure detector
+inline constexpr LayerId kLayerBcast = 2;      // reliable broadcast
+inline constexpr LayerId kLayerUrb = 3;        // uniform reliable broadcast
+inline constexpr LayerId kLayerConsensus = 4;  // consensus / indirect consensus
+inline constexpr LayerId kLayerAbcast = 5;     // atomic broadcast control
+inline constexpr LayerId kLayerApp = 6;        // examples / tests
+
+class Stack;
+
+/// A protocol layer. Lifetime: constructed, registered with the stack,
+/// `on_start()` once the whole stack is wired, then `on_message` for every
+/// incoming envelope addressed to it.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+
+  /// Called once after all layers are registered and the process started.
+  virtual void on_start() {}
+
+  /// Called for each incoming message addressed to this layer. `r` is
+  /// positioned after the layer-id header.
+  virtual void on_message(ProcessId from, Reader& r) = 0;
+};
+
+/// Capabilities handed to a layer: sending under its layer id, timers,
+/// clock, RNG, logging. Cheap to copy.
+class LayerContext {
+ public:
+  LayerContext() = default;
+  LayerContext(Stack* stack, LayerId id, std::string name);
+
+  ProcessId self() const;
+  std::uint32_t n() const;
+  TimePoint now() const;
+
+  /// Serializes an envelope for this layer and sends it to `dst`.
+  void send(ProcessId dst, BytesView payload) const;
+
+  /// Sends to every process including self (the paper's "send to all":
+  /// the sender handles its own copy through the same code path).
+  void send_to_all(BytesView payload) const;
+
+  /// Sends to every process except self.
+  void send_to_others(BytesView payload) const;
+
+  TimerId set_timer(Duration delay, Env::TimerFn fn) const;
+  void cancel_timer(TimerId id) const;
+  void defer(Env::TimerFn fn) const;
+  void charge_cpu(Duration cost) const;
+
+  Rng& rng() const;
+  const Logger& log() const { return log_; }
+
+ private:
+  Stack* stack_ = nullptr;
+  LayerId id_ = 0;
+  Logger log_;
+};
+
+/// One process's protocol stack: registers as the Env receive handler and
+/// routes envelopes to layers.
+class Stack {
+ public:
+  explicit Stack(Env& env);
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  Env& env() { return env_; }
+  const Env& env() const { return env_; }
+
+  /// Registers `layer` under `id` (must be unused) and returns the context
+  /// it should keep. `name` tags log lines, e.g. "ct" or "abcast".
+  LayerContext register_layer(LayerId id, Layer& layer, std::string name);
+
+  /// Calls on_start on all layers in registration order.
+  void start();
+
+  /// Routes one incoming envelope (called by the Env receive handler).
+  void dispatch(ProcessId from, BytesView envelope);
+
+  /// Wire helper used by LayerContext.
+  void send_from_layer(LayerId id, ProcessId dst, BytesView payload);
+
+ private:
+  Env& env_;
+  std::unordered_map<LayerId, Layer*> layers_;
+  std::vector<Layer*> order_;
+  bool started_ = false;
+};
+
+}  // namespace ibc::runtime

@@ -1,0 +1,61 @@
+#include "sim/scheduler.hpp"
+
+namespace ibc::sim {
+
+EventId Scheduler::schedule_at(TimePoint t, EventFn fn) {
+  IBC_REQUIRE_MSG(t >= now_, "cannot schedule events in the past");
+  IBC_REQUIRE(fn != nullptr);
+  const EventId id = next_id_++;
+  queue_.push(Entry{t, next_seq_++, id,
+                    std::make_shared<EventFn>(std::move(fn))});
+  live_.insert(id);
+  return id;
+}
+
+bool Scheduler::pop_next(Entry& out) {
+  while (!queue_.empty()) {
+    Entry e = queue_.top();
+    queue_.pop();
+    if (live_.erase(e.id) > 0) {
+      out = std::move(e);
+      return true;
+    }
+    // Cancelled: drop silently.
+  }
+  return false;
+}
+
+bool Scheduler::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  IBC_ASSERT(e.time >= now_);
+  now_ = e.time;
+  ++executed_;
+  (*e.fn)();
+  return true;
+}
+
+std::size_t Scheduler::run_until(TimePoint t) {
+  IBC_REQUIRE(t >= now_);
+  std::size_t executed = 0;
+  while (!queue_.empty()) {
+    // Peek: stop before events beyond the horizon.
+    const Entry& top = queue_.top();
+    if (!live_.contains(top.id)) {
+      queue_.pop();
+      continue;
+    }
+    if (top.time > t) break;
+    if (step()) ++executed;
+  }
+  now_ = t;
+  return executed;
+}
+
+std::size_t Scheduler::run_all(std::size_t max_events) {
+  std::size_t executed = 0;
+  while (executed < max_events && step()) ++executed;
+  return executed;
+}
+
+}  // namespace ibc::sim

@@ -1,0 +1,99 @@
+// Deterministic discrete-event scheduler.
+//
+// The simulator's single source of truth for time. Events fire in
+// (time, insertion-sequence) order, so simultaneous events run in the exact
+// order they were scheduled — together with seeded RNG streams this makes
+// every simulation bit-reproducible.
+//
+// The scheduler is strictly single-threaded: all protocol code, network
+// model code and test harness code runs inside event callbacks.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/time.hpp"
+
+namespace ibc::sim {
+
+/// Identifies a scheduled event so it can be cancelled. 0 is never issued.
+using EventId = std::uint64_t;
+
+class Scheduler {
+ public:
+  using EventFn = std::function<void()>;
+
+  Scheduler() = default;
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  /// Current simulated time. Advances only while events execute.
+  TimePoint now() const { return now_; }
+
+  /// Schedules `fn` at absolute time `t` (>= now).
+  EventId schedule_at(TimePoint t, EventFn fn);
+
+  /// Schedules `fn` after `delay` (>= 0) from now.
+  EventId schedule_after(Duration delay, EventFn fn) {
+    IBC_REQUIRE(delay >= 0);
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancels a pending event. Cancelling an already-fired or already-
+  /// cancelled event is a harmless no-op (timer races are normal in
+  /// protocol code).
+  void cancel(EventId id) { live_.erase(id); }
+
+  /// Executes the next event, if any. Returns false when the queue is
+  /// empty (cancelled events are skipped silently).
+  bool step();
+
+  /// Runs events with time <= `t`, then advances the clock to exactly `t`.
+  /// Returns the number of events executed.
+  std::size_t run_until(TimePoint t);
+
+  /// Runs until the queue drains or `max_events` fire. Returns the number
+  /// of events executed. A hit on the limit usually means a livelocked
+  /// protocol — callers treat it as a failure.
+  std::size_t run_all(std::size_t max_events = kDefaultEventLimit);
+
+  bool empty() const { return live_.empty(); }
+
+  /// Total events executed so far (diagnostics / benchmarks).
+  std::uint64_t events_executed() const { return executed_; }
+
+  static constexpr std::size_t kDefaultEventLimit = 50'000'000;
+
+ private:
+  struct Entry {
+    TimePoint time;
+    std::uint64_t seq;  // tie-break: FIFO among equal times
+    EventId id;
+    // shared_ptr so entries are copyable inside std::priority_queue while
+    // the callback itself can hold move-only state.
+    std::shared_ptr<EventFn> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops the next live event; false if none.
+  bool pop_next(Entry& out);
+
+  TimePoint now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  std::unordered_set<EventId> live_;  // ids scheduled and not yet fired
+};
+
+}  // namespace ibc::sim

@@ -1,0 +1,58 @@
+// Contract-check macros for internal invariants.
+//
+// IBC_ASSERT / IBC_REQUIRE abort with a diagnostic instead of throwing:
+// a failed invariant inside a protocol state machine means the simulation
+// (or the algorithm implementation) is broken, and unwinding through
+// event-loop frames would only hide the bug.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ibc::detail {
+
+[[noreturn]] inline void contract_failure(const char* kind, const char* expr,
+                                          const char* file, int line,
+                                          const char* msg) {
+  std::fprintf(stderr, "ibc: %s failed: %s\n  at %s:%d\n  %s\n", kind, expr,
+               file, line, msg != nullptr ? msg : "");
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace ibc::detail
+
+// Invariant that must hold if the implementation is correct.
+#define IBC_ASSERT(expr)                                                     \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]]                                                \
+      ::ibc::detail::contract_failure("assertion", #expr, __FILE__,          \
+                                      __LINE__, nullptr);                    \
+  } while (false)
+
+#define IBC_ASSERT_MSG(expr, msg)                                            \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]]                                                \
+      ::ibc::detail::contract_failure("assertion", #expr, __FILE__,          \
+                                      __LINE__, (msg));                      \
+  } while (false)
+
+// Precondition on arguments of a public API.
+#define IBC_REQUIRE(expr)                                                    \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]]                                                \
+      ::ibc::detail::contract_failure("precondition", #expr, __FILE__,       \
+                                      __LINE__, nullptr);                    \
+  } while (false)
+
+#define IBC_REQUIRE_MSG(expr, msg)                                           \
+  do {                                                                       \
+    if (!(expr)) [[unlikely]]                                                \
+      ::ibc::detail::contract_failure("precondition", #expr, __FILE__,       \
+                                      __LINE__, (msg));                      \
+  } while (false)
+
+// Marks unreachable control flow (e.g. exhaustive switch).
+#define IBC_UNREACHABLE(msg)                                                 \
+  ::ibc::detail::contract_failure("unreachable", "control flow", __FILE__,   \
+                                  __LINE__, (msg))

@@ -1,0 +1,136 @@
+#include "util/bytes.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/time.hpp"
+
+namespace ibc {
+
+bool bytes_equal(BytesView a, BytesView b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+Bytes to_bytes(BytesView v) { return Bytes(v.begin(), v.end()); }
+
+Bytes bytes_of(std::string_view s) {
+  return Bytes(reinterpret_cast<const std::uint8_t*>(s.data()),
+               reinterpret_cast<const std::uint8_t*>(s.data()) + s.size());
+}
+
+std::string hexdump(BytesView v, std::size_t max) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  std::string out;
+  const std::size_t n = std::min(v.size(), max);
+  out.reserve(n * 2 + 4);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(kHex[v[i] >> 4]);
+    out.push_back(kHex[v[i] & 0xf]);
+  }
+  if (v.size() > max) out += "...";
+  return out;
+}
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v));
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::blob(BytesView v) {
+  IBC_REQUIRE(v.size() <= UINT32_MAX);
+  u32(static_cast<std::uint32_t>(v.size()));
+  raw(v);
+}
+
+void Writer::str(std::string_view s) {
+  IBC_REQUIRE(s.size() <= UINT32_MAX);
+  u32(static_cast<std::uint32_t>(s.size()));
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::message_id(const MessageId& id) {
+  u32(id.origin);
+  u64(id.seq);
+}
+
+BytesView Reader::take(std::size_t n) {
+  IBC_ASSERT_MSG(remaining() >= n, "Reader underflow: malformed wire data");
+  BytesView out = data_.subspan(pos_, n);
+  pos_ += n;
+  return out;
+}
+
+std::uint8_t Reader::u8() { return take(1)[0]; }
+
+std::uint16_t Reader::u16() {
+  BytesView b = take(2);
+  return static_cast<std::uint16_t>(b[0] | (b[1] << 8));
+}
+
+std::uint32_t Reader::u32() {
+  BytesView b = take(4);
+  return static_cast<std::uint32_t>(b[0]) |
+         (static_cast<std::uint32_t>(b[1]) << 8) |
+         (static_cast<std::uint32_t>(b[2]) << 16) |
+         (static_cast<std::uint32_t>(b[3]) << 24);
+}
+
+std::uint64_t Reader::u64() {
+  std::uint64_t v = 0;
+  BytesView b = take(8);
+  for (int i = 7; i >= 0; --i) v = (v << 8) | b[static_cast<std::size_t>(i)];
+  return v;
+}
+
+Bytes Reader::blob() { return to_bytes(blob_view()); }
+
+BytesView Reader::blob_view() {
+  const std::uint32_t n = u32();
+  return take(n);
+}
+
+std::string Reader::str() {
+  BytesView v = blob_view();
+  return std::string(reinterpret_cast<const char*>(v.data()), v.size());
+}
+
+MessageId Reader::message_id() {
+  MessageId id;
+  id.origin = u32();
+  id.seq = u64();
+  return id;
+}
+
+std::string to_string(const MessageId& id) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%u:%llu", id.origin,
+                static_cast<unsigned long long>(id.seq));
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  if (d >= kSecond || d <= -kSecond) {
+    std::snprintf(buf, sizeof buf, "%.3fs", to_sec(d));
+  } else if (d >= kMillisecond || d <= -kMillisecond) {
+    std::snprintf(buf, sizeof buf, "%.3fms", to_ms(d));
+  } else if (d >= kMicrosecond || d <= -kMicrosecond) {
+    std::snprintf(buf, sizeof buf, "%.3fus",
+                  static_cast<double>(d) / static_cast<double>(kMicrosecond));
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+}  // namespace ibc

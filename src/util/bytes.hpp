@@ -1,0 +1,116 @@
+// Byte-buffer serialization primitives.
+//
+// Every wire format in the library (protocol headers, consensus values,
+// message-id sets) is written with `Writer` and parsed with `Reader`.
+// Encoding is explicit little-endian with fixed-width integers, so the
+// format is identical on every platform and a serialized value is a
+// canonical byte string: two semantically equal values serialize to equal
+// bytes (which consensus relies on when comparing estimates).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/assert.hpp"
+#include "util/types.hpp"
+
+namespace ibc {
+
+/// Owning byte string used for payloads and serialized values.
+using Bytes = std::vector<std::uint8_t>;
+
+/// Non-owning view of serialized data.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Compares two views bytewise. (std::span has no operator==.)
+bool bytes_equal(BytesView a, BytesView b);
+
+/// Copies a view into an owning buffer.
+Bytes to_bytes(BytesView v);
+
+/// Builds an owning buffer from a string literal / std::string (for tests
+/// and examples).
+Bytes bytes_of(std::string_view s);
+
+/// Renders up to `max` bytes as hex for diagnostics.
+std::string hexdump(BytesView v, std::size_t max = 32);
+
+/// Appends fixed-width little-endian fields to a growing buffer.
+class Writer {
+ public:
+  Writer() = default;
+
+  /// Pre-sizes the underlying buffer (capacity only).
+  explicit Writer(std::size_t reserve_bytes) { buf_.reserve(reserve_bytes); }
+
+  void u8(std::uint8_t v) { buf_.push_back(v); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  /// Raw bytes, no length prefix.
+  void raw(BytesView v) { buf_.insert(buf_.end(), v.begin(), v.end()); }
+
+  /// Length-prefixed (u32) byte string.
+  void blob(BytesView v);
+
+  /// Length-prefixed (u32) UTF-8 string.
+  void str(std::string_view s);
+
+  void message_id(const MessageId& id);
+
+  std::size_t size() const { return buf_.size(); }
+
+  /// Returns the accumulated buffer, leaving the writer empty.
+  Bytes take() { return std::move(buf_); }
+
+  /// Read-only view of what has been written so far.
+  BytesView view() const { return buf_; }
+
+ private:
+  Bytes buf_;
+};
+
+/// Parses fields in the order they were written.
+///
+/// Underflow or a malformed length prefix is a programming error (all wire
+/// formats are produced by `Writer` in the same binary) and aborts via
+/// IBC_ASSERT rather than throwing.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  /// Reads a length-prefixed byte string written by Writer::blob.
+  Bytes blob();
+
+  /// View into the reader's buffer for a length-prefixed byte string;
+  /// valid only while the underlying storage lives.
+  BytesView blob_view();
+
+  std::string str();
+
+  MessageId message_id();
+
+  /// Number of bytes not yet consumed.
+  std::size_t remaining() const { return data_.size() - pos_; }
+
+  bool done() const { return remaining() == 0; }
+
+ private:
+  BytesView take(std::size_t n);
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ibc

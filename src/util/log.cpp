@@ -1,0 +1,77 @@
+#include "util/log.hpp"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace ibc {
+
+namespace {
+
+std::atomic<int> g_level{-1};  // -1: not yet initialized from env
+std::mutex g_emit_mutex;       // serializes lines from reactor threads
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+LogLevel parse_log_level(std::string_view name) {
+  if (name == "trace") return LogLevel::kTrace;
+  if (name == "debug") return LogLevel::kDebug;
+  if (name == "info") return LogLevel::kInfo;
+  if (name == "warn") return LogLevel::kWarn;
+  if (name == "error") return LogLevel::kError;
+  return LogLevel::kOff;
+}
+
+void set_log_level(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel log_level() {
+  int v = g_level.load(std::memory_order_relaxed);
+  if (v < 0) {
+    const char* env = std::getenv("IBC_LOG");
+    LogLevel lvl = env != nullptr ? parse_log_level(env) : LogLevel::kOff;
+    set_log_level(lvl);
+    v = static_cast<int>(lvl);
+  }
+  return static_cast<LogLevel>(v);
+}
+
+Logger::Logger(std::string prefix, ClockFn clock)
+    : prefix_(std::move(prefix)), clock_(std::move(clock)) {}
+
+void Logger::logf(LogLevel level, const char* fmt, ...) const {
+  if (!enabled(level)) return;
+  char body[512];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(body, sizeof body, fmt, args);
+  va_end(args);
+
+  const TimePoint now = clock_ ? clock_() : 0;
+  const std::scoped_lock lock(g_emit_mutex);
+  std::fprintf(stderr, "[%12.6fms] %s %-14s %s\n", to_ms(now),
+               level_name(level), prefix_.c_str(), body);
+}
+
+Logger Logger::child(std::string_view suffix) const {
+  std::string prefix = prefix_;
+  prefix += '/';
+  prefix += suffix;
+  return Logger(std::move(prefix), clock_);
+}
+
+}  // namespace ibc

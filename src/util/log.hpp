@@ -1,0 +1,67 @@
+// Lightweight leveled logging.
+//
+// Protocol layers log through a `Logger` owned by their environment; the
+// logger stamps each line with the (simulated or real) clock and a prefix
+// such as "p2/ct". The global level is off by default so tests and
+// benchmarks stay quiet; set IBC_LOG=debug (env var) or call
+// `set_log_level` to trace executions.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace ibc {
+
+enum class LogLevel : int {
+  kTrace = 0,
+  kDebug = 1,
+  kInfo = 2,
+  kWarn = 3,
+  kError = 4,
+  kOff = 5,
+};
+
+/// Sets the process-wide minimum level that is emitted.
+void set_log_level(LogLevel level);
+
+/// Current process-wide level. Reads the IBC_LOG environment variable once
+/// on first use ("trace", "debug", "info", "warn", "error", "off").
+LogLevel log_level();
+
+/// Parses a level name; returns kOff for unknown names.
+LogLevel parse_log_level(std::string_view name);
+
+/// Per-component logger; cheap to copy.
+class Logger {
+ public:
+  using ClockFn = std::function<TimePoint()>;
+
+  Logger() = default;
+
+  /// `prefix` identifies the emitting component (e.g. "p3/abcast");
+  /// `clock` supplies timestamps (simulated time in the simulator).
+  Logger(std::string prefix, ClockFn clock);
+
+  /// True if a message at `level` would be emitted — guard expensive
+  /// argument formatting with this.
+  bool enabled(LogLevel level) const {
+    return static_cast<int>(level) >= static_cast<int>(log_level());
+  }
+
+  /// printf-style emission; no-op when the level is disabled.
+  void logf(LogLevel level, const char* fmt, ...) const
+      __attribute__((format(printf, 3, 4)));
+
+  /// Returns a logger with "/suffix" appended to the prefix, sharing the
+  /// clock — used when a stack hands sub-loggers to its layers.
+  Logger child(std::string_view suffix) const;
+
+ private:
+  std::string prefix_;
+  ClockFn clock_;
+};
+
+}  // namespace ibc

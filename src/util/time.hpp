@@ -1,0 +1,48 @@
+// Simulated-time representation shared by the whole library.
+//
+// All protocol and simulator code expresses time as an integral number of
+// nanoseconds (`TimePoint` / `Duration`). Integers keep the discrete-event
+// simulation exactly reproducible across platforms: there is no
+// floating-point rounding anywhere on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ibc {
+
+/// Nanoseconds since the start of the run (simulation epoch, or process
+/// start for the real-time runtime).
+using TimePoint = std::int64_t;
+
+/// Difference between two `TimePoint`s, in nanoseconds.
+using Duration = std::int64_t;
+
+inline constexpr Duration kNanosecond = 1;
+inline constexpr Duration kMicrosecond = 1000 * kNanosecond;
+inline constexpr Duration kMillisecond = 1000 * kMicrosecond;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+
+/// A `TimePoint` later than every time a finite run can reach.
+inline constexpr TimePoint kTimeInfinity = INT64_MAX;
+
+constexpr Duration nanoseconds(std::int64_t v) { return v; }
+constexpr Duration microseconds(std::int64_t v) { return v * kMicrosecond; }
+constexpr Duration milliseconds(std::int64_t v) { return v * kMillisecond; }
+constexpr Duration seconds(std::int64_t v) { return v * kSecond; }
+
+/// Converts to fractional milliseconds (for reporting only — never used in
+/// simulation arithmetic).
+constexpr double to_ms(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kMillisecond);
+}
+
+/// Converts to fractional seconds (for reporting only).
+constexpr double to_sec(Duration d) {
+  return static_cast<double>(d) / static_cast<double>(kSecond);
+}
+
+/// Renders a duration as a compact human-readable string, e.g. "1.500ms".
+std::string format_duration(Duration d);
+
+}  // namespace ibc

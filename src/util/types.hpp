@@ -1,0 +1,48 @@
+// Fundamental identifiers used across the stack.
+#pragma once
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ibc {
+
+/// Identifies a process in the group. Processes are numbered 1..n as in the
+/// paper (`p1 ... pn`); 0 is reserved as "invalid / none".
+using ProcessId = std::uint32_t;
+
+inline constexpr ProcessId kInvalidProcess = 0;
+
+/// Unique identifier of an application message, assigned by its origin.
+///
+/// The paper's `id(m)`: the mapping between messages and identifiers is
+/// bijective because every process numbers its own broadcasts with a local
+/// sequence counter.
+struct MessageId {
+  ProcessId origin = kInvalidProcess;
+  std::uint64_t seq = 0;
+
+  friend constexpr auto operator<=>(const MessageId&,
+                                    const MessageId&) = default;
+};
+
+/// Renders "origin:seq" for logs.
+std::string to_string(const MessageId& id);
+
+}  // namespace ibc
+
+template <>
+struct std::hash<ibc::MessageId> {
+  std::size_t operator()(const ibc::MessageId& id) const noexcept {
+    // splitmix-style mixing of the two fields.
+    std::uint64_t x = (static_cast<std::uint64_t>(id.origin) << 48) ^ id.seq;
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return static_cast<std::size_t>(x);
+  }
+};

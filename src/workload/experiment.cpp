@@ -1,0 +1,129 @@
+#include "workload/experiment.hpp"
+
+#include <memory>
+
+#include "runtime/sim_cluster.hpp"
+#include "util/assert.hpp"
+#include "workload/latency.hpp"
+
+namespace ibc::workload {
+
+namespace {
+
+/// Per-process Poisson source: schedules the next abroadcast through the
+/// process's own Env, so a crashed process stops generating.
+class Source {
+ public:
+  Source(runtime::Env& env, core::AbcastService& ab, LatencyRecorder& rec,
+         double rate_per_sec, std::size_t payload_bytes, TimePoint stop_at)
+      : env_(env),
+        abcast_(ab),
+        recorder_(rec),
+        mean_gap_ns_(1e9 / rate_per_sec),
+        payload_(payload_bytes,
+                 static_cast<std::uint8_t>(0xA0 + env.self() % 16)),
+        stop_at_(stop_at) {}
+
+  void start() { schedule_next(); }
+
+ private:
+  void schedule_next() {
+    const auto gap = static_cast<Duration>(
+        env_.rng().next_exponential(mean_gap_ns_));
+    const TimePoint at = env_.now() + std::max<Duration>(gap, 1);
+    if (at >= stop_at_) return;
+    env_.set_timer(at - env_.now(), [this] {
+      const MessageId id = abcast_.abroadcast(payload_);
+      recorder_.on_broadcast(id, env_.now());
+      schedule_next();
+    });
+  }
+
+  runtime::Env& env_;
+  core::AbcastService& abcast_;
+  LatencyRecorder& recorder_;
+  double mean_gap_ns_;
+  Bytes payload_;
+  TimePoint stop_at_;
+};
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& config) {
+  IBC_REQUIRE(config.n >= 1);
+  IBC_REQUIRE(config.throughput_msgs_per_sec > 0);
+
+  runtime::SimCluster cluster(config.n, config.model, config.seed);
+
+  const TimePoint measure_from = config.warmup;
+  const TimePoint measure_to = config.warmup + config.measure;
+  const TimePoint run_end = measure_to + config.drain;
+
+  LatencyRecorder recorder(measure_from, measure_to, config.n);
+
+  std::vector<std::unique_ptr<abcast::ProcessStack>> stacks;
+  std::vector<std::unique_ptr<Source>> sources;
+  stacks.reserve(config.n + 1);
+  sources.reserve(config.n + 1);
+  stacks.push_back(nullptr);   // 1-based
+  sources.push_back(nullptr);
+
+  const double per_process_rate =
+      config.throughput_msgs_per_sec / config.n;
+
+  for (ProcessId p = 1; p <= config.n; ++p) {
+    auto stack = std::make_unique<abcast::ProcessStack>(
+        cluster.env(p), config.stack, &cluster.network());
+    stack->abcast().subscribe(
+        [&recorder, p, &cluster](const MessageId& id, BytesView) {
+          recorder.on_delivery(id, p, cluster.now());
+        });
+    auto source = std::make_unique<Source>(
+        cluster.env(p), stack->abcast(), recorder, per_process_rate,
+        config.payload_bytes, measure_to);
+    stacks.push_back(std::move(stack));
+    sources.push_back(std::move(source));
+  }
+
+  for (ProcessId p = 1; p <= config.n; ++p) {
+    stacks[p]->start();
+    sources[p]->start();
+  }
+  for (const CrashEvent& c : config.crashes)
+    cluster.crash_at(c.at, c.process);
+
+  // Run generation + measurement + drain. run_until (not run_all): the
+  // heartbeat failure detector keeps the event queue non-empty forever,
+  // so the run is bounded by simulated time. Messages still undelivered
+  // at run_end are reported as such (saturation — or, for the faulty
+  // stack under a crash, a Validity violation).
+  cluster.scheduler().run_until(run_end);
+
+  ExperimentResult res;
+  Samples& samples = recorder.samples();
+  res.samples = samples.count();
+  res.mean_latency_ms = samples.mean();
+  res.p50_latency_ms = samples.quantile(0.50);
+  res.p95_latency_ms = samples.quantile(0.95);
+  res.max_latency_ms = samples.max();
+  res.broadcasts_measured = recorder.broadcasts_in_window();
+  res.undelivered = recorder.undelivered(cluster.network().alive_count());
+  res.total_order_ok = recorder.total_order_ok();
+  res.saturated = res.undelivered > 0;
+  res.offered_throughput = config.throughput_msgs_per_sec;
+  res.achieved_throughput =
+      config.measure > 0
+          ? static_cast<double>(res.broadcasts_measured) /
+                to_sec(config.measure)
+          : 0.0;
+  res.messages_sent = cluster.network().counters().messages_sent;
+  res.wire_bytes_sent = cluster.network().counters().wire_bytes_sent;
+  for (ProcessId p = 1; p <= config.n; ++p) {
+    const auto& stats = stacks[p]->consensus_stats();
+    res.consensus_rounds += stats.rounds_started;
+    res.proposals_refused += stats.proposals_refused;
+  }
+  return res;
+}
+
+}  // namespace ibc::workload

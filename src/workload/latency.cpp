@@ -1,0 +1,50 @@
+#include "workload/latency.hpp"
+
+#include "util/assert.hpp"
+
+namespace ibc::workload {
+
+LatencyRecorder::LatencyRecorder(TimePoint from, TimePoint to,
+                                 std::uint32_t n)
+    : from_(from), to_(to), n_(n), position_(n + 1, 0) {
+  IBC_REQUIRE(from <= to);
+}
+
+void LatencyRecorder::on_broadcast(const MessageId& id, TimePoint now) {
+  Tracked& t = tracked_[id];
+  t.broadcast_at = now;
+  t.in_window = now >= from_ && now < to_;
+  if (t.in_window) ++window_broadcasts_;
+}
+
+void LatencyRecorder::on_delivery(const MessageId& id, ProcessId p,
+                                  TimePoint now) {
+  // Total-order check first (covers every delivery, measured or not).
+  IBC_ASSERT(p >= 1 && p <= n_);
+  const std::size_t pos = position_[p]++;
+  if (pos < global_order_.size()) {
+    if (!(global_order_[pos] == id)) total_order_ok_ = false;
+  } else {
+    IBC_ASSERT(pos == global_order_.size());
+    global_order_.push_back(id);
+  }
+
+  const auto it = tracked_.find(id);
+  // A delivery of an unknown id would be a Uniform-integrity violation
+  // (delivered but never broadcast).
+  IBC_ASSERT_MSG(it != tracked_.end(), "delivered a message never broadcast");
+  Tracked& t = it->second;
+  ++t.deliveries;
+  IBC_ASSERT_MSG(t.deliveries <= n_, "delivered more times than processes");
+  if (t.in_window) samples_.add(to_ms(now - t.broadcast_at));
+}
+
+std::size_t LatencyRecorder::undelivered(std::uint32_t alive) const {
+  std::size_t missing = 0;
+  for (const auto& [id, t] : tracked_) {
+    if (t.in_window && t.deliveries < alive) ++missing;
+  }
+  return missing;
+}
+
+}  // namespace ibc::workload

@@ -1,0 +1,43 @@
+#include "workload/series.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "util/assert.hpp"
+
+namespace ibc::workload {
+
+double saturated_marker() {
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+void print_table(std::string_view title, std::string_view x_label,
+                 const std::vector<double>& xs,
+                 const std::vector<Series>& series) {
+  std::printf("\n== %.*s ==\n", static_cast<int>(title.size()),
+              title.data());
+
+  std::printf("%16.*s", static_cast<int>(x_label.size()), x_label.data());
+  for (const Series& s : series) {
+    std::printf("  %28s", s.name.c_str());
+  }
+  std::printf("\n");
+
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    std::printf("%16.0f", xs[i]);
+    for (const Series& s : series) {
+      IBC_REQUIRE(s.values.size() == xs.size());
+      const double v = s.values[i];
+      if (std::isnan(v)) {
+        std::printf("  %28s", "sat.");
+      } else {
+        std::printf("  %28.3f", v);
+      }
+    }
+    std::printf("\n");
+  }
+  std::fflush(stdout);
+}
+
+}  // namespace ibc::workload

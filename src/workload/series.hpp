@@ -1,0 +1,30 @@
+// Paper-style table printing for the benchmark binaries.
+//
+// Every bench prints one table per sub-figure: the x column (payload size
+// or throughput) followed by one latency column per curve, matching the
+// series of the corresponding figure in the paper.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ibc::workload {
+
+struct Series {
+  std::string name;            // curve label, e.g. "Indirect consensus"
+  std::vector<double> values;  // one value per x, NaN = saturated/absent
+};
+
+/// Prints an aligned table:
+///   title
+///   x_label | series-1 | series-2 ...
+/// Values are printed with 3 decimals; NaN prints as "sat." (saturated).
+void print_table(std::string_view title, std::string_view x_label,
+                 const std::vector<double>& xs,
+                 const std::vector<Series>& series);
+
+/// Marker used by benches for saturated points.
+double saturated_marker();
+
+}  // namespace ibc::workload

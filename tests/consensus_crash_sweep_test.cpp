@@ -1,0 +1,143 @@
+// Crash-schedule sweep for the consensus engines: agreement, validity,
+// integrity and (within the resilience bound) termination under randomly
+// timed crashes, across engines × group sizes × crash counts × seeds.
+// Complements consensus_test.cpp's deterministic cases with breadth.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "consensus/ct.hpp"
+#include "consensus/mr.hpp"
+#include "fd/heartbeat_fd.hpp"
+#include "runtime/sim_cluster.hpp"
+
+namespace ibc::consensus {
+namespace {
+
+enum class Algo { kCt, kMr };
+
+struct Param {
+  Algo algo;
+  std::uint32_t n;
+  std::uint32_t crashes;  // <= n - majority(n): within resilience
+  std::uint64_t seed;
+
+  std::string name() const {
+    return std::string(algo == Algo::kCt ? "CT" : "MR") + "n" +
+           std::to_string(n) + "f" + std::to_string(crashes) + "s" +
+           std::to_string(seed);
+  }
+};
+
+class CrashSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CrashSweep, SafetyAlwaysLivenessWithinBound) {
+  const Param param = GetParam();
+  runtime::SimCluster cluster(param.n, net::NetModel::setup1(),
+                              param.seed);
+  Rng rng = Rng(param.seed).fork("schedule");
+
+  std::vector<std::unique_ptr<runtime::Stack>> stacks;
+  std::vector<std::unique_ptr<fd::HeartbeatFd>> fds;
+  std::vector<std::unique_ptr<Consensus>> engines;
+  std::vector<std::map<InstanceId, Bytes>> decided(param.n + 1);
+
+  for (ProcessId p = 1; p <= param.n; ++p) {
+    stacks.push_back(std::make_unique<runtime::Stack>(cluster.env(p)));
+    fds.push_back(std::make_unique<fd::HeartbeatFd>(
+        *stacks.back(), runtime::kLayerFd, fd::HeartbeatConfig{}));
+    if (param.algo == Algo::kCt) {
+      engines.push_back(std::make_unique<CtConsensus>(
+          *stacks.back(), runtime::kLayerConsensus, *fds.back(),
+          CtConfig{}));
+    } else {
+      engines.push_back(std::make_unique<MrConsensus>(
+          *stacks.back(), runtime::kLayerConsensus, *fds.back(),
+          MrConfig{}));
+    }
+    engines.back()->subscribe_decide(
+        [&decided, p](InstanceId k, BytesView v) {
+          // Uniform integrity: at most one decision per instance.
+          ASSERT_FALSE(decided[p].contains(k));
+          decided[p][k] = to_bytes(v);
+        });
+  }
+  for (auto& s : stacks) s->start();
+
+  // Several instances, proposals staggered over the first 50 ms.
+  constexpr InstanceId kInstances = 3;
+  for (InstanceId k = 1; k <= kInstances; ++k) {
+    for (ProcessId p = 1; p <= param.n; ++p) {
+      const Duration at = milliseconds(rng.next_in(0, 50));
+      cluster.env(p).set_timer(at, [&engines, p, k] {
+        engines[p - 1]->propose(
+            k, bytes_of("k" + std::to_string(k) + "v" + std::to_string(p)));
+      });
+    }
+  }
+
+  // Randomly timed crashes of the tail processes, inside the action.
+  std::vector<bool> crashed(param.n + 1, false);
+  for (std::uint32_t i = 0; i < param.crashes; ++i) {
+    const ProcessId victim = param.n - i;
+    crashed[victim] = true;
+    cluster.crash_at(milliseconds(rng.next_in(5, 120)), victim);
+  }
+
+  cluster.run_for(seconds(15));
+
+  for (InstanceId k = 1; k <= kInstances; ++k) {
+    // Liveness: every survivor decided (heartbeat ♦P converged long ago).
+    const Bytes* value = nullptr;
+    for (ProcessId p = 1; p <= param.n; ++p) {
+      if (crashed[p]) continue;
+      const auto it = decided[p].find(k);
+      ASSERT_NE(it, decided[p].end())
+          << "p" << p << " undecided in instance " << k;
+      if (value == nullptr) value = &it->second;
+      // Uniform agreement across survivors.
+      EXPECT_TRUE(bytes_equal(*value, it->second)) << "instance " << k;
+    }
+    // Uniform agreement also covers pre-crash decisions of the crashed.
+    for (ProcessId p = 1; p <= param.n; ++p) {
+      if (!crashed[p]) continue;
+      const auto it = decided[p].find(k);
+      if (it != decided[p].end()) {
+        EXPECT_TRUE(bytes_equal(*value, it->second))
+            << "crashed p" << p << " disagreed in instance " << k;
+      }
+    }
+    // Uniform validity: the decision was someone's proposal for k.
+    bool is_proposal = false;
+    for (ProcessId p = 1; p <= param.n; ++p)
+      if (bytes_equal(*value, bytes_of("k" + std::to_string(k) + "v" +
+                                       std::to_string(p))))
+        is_proposal = true;
+    EXPECT_TRUE(is_proposal) << "instance " << k;
+  }
+}
+
+std::vector<Param> make_params() {
+  std::vector<Param> out;
+  for (const Algo algo : {Algo::kCt, Algo::kMr}) {
+    for (const std::uint32_t n : {3u, 4u, 5u, 7u}) {
+      const std::uint32_t max_f = n - majority(n);
+      for (std::uint32_t f = 0; f <= max_f; ++f) {
+        for (const std::uint64_t seed : {11u, 22u, 33u}) {
+          out.push_back(Param{algo, n, f, seed});
+        }
+      }
+    }
+  }
+  return out;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, CrashSweep,
+                         ::testing::ValuesIn(make_params()),
+                         [](const auto& p) { return p.param.name(); });
+
+}  // namespace
+}  // namespace ibc::consensus

@@ -1,0 +1,145 @@
+// Unit tests for the failure detectors: heartbeat (♦P behaviour),
+// perfect oracle, and the scripted detector.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "fd/heartbeat_fd.hpp"
+#include "fd/perfect_fd.hpp"
+#include "fd/scripted_fd.hpp"
+#include "runtime/sim_cluster.hpp"
+
+namespace ibc::fd {
+namespace {
+
+struct HbFixture {
+  explicit HbFixture(HeartbeatConfig cfg = {})
+      : cluster(3, net::NetModel::fast_test(), 21) {
+    for (ProcessId p = 1; p <= 3; ++p) {
+      stacks.push_back(std::make_unique<runtime::Stack>(cluster.env(p)));
+      fds.push_back(std::make_unique<HeartbeatFd>(
+          *stacks.back(), runtime::kLayerFd, cfg));
+    }
+    for (auto& s : stacks) s->start();
+  }
+  HeartbeatFd& fd(ProcessId p) { return *fds[p - 1]; }
+
+  runtime::SimCluster cluster;
+  std::vector<std::unique_ptr<runtime::Stack>> stacks;
+  std::vector<std::unique_ptr<HeartbeatFd>> fds;
+};
+
+TEST(HeartbeatFd, NoSuspicionsInHealthyRun) {
+  HbFixture f;
+  f.cluster.run_for(seconds(5));
+  for (ProcessId p = 1; p <= 3; ++p)
+    for (ProcessId q = 1; q <= 3; ++q)
+      EXPECT_FALSE(f.fd(p).is_suspected(q)) << p << " suspects " << q;
+}
+
+TEST(HeartbeatFd, CrashedProcessEventuallySuspected) {
+  HbFixture f;
+  f.cluster.run_for(seconds(1));
+  f.cluster.crash_at(f.cluster.now(), 2);
+  f.cluster.run_for(seconds(2));
+  EXPECT_TRUE(f.fd(1).is_suspected(2));
+  EXPECT_TRUE(f.fd(3).is_suspected(2));
+  // ...and nobody suspects the living.
+  EXPECT_FALSE(f.fd(1).is_suspected(3));
+  EXPECT_FALSE(f.fd(3).is_suspected(1));
+}
+
+TEST(HeartbeatFd, SuspicionWithinExpectedDelay) {
+  HeartbeatConfig cfg;
+  cfg.interval = milliseconds(10);
+  cfg.initial_timeout = milliseconds(50);
+  HbFixture f(cfg);
+  f.cluster.run_for(seconds(1));
+  f.cluster.crash_at(f.cluster.now(), 3);
+  f.cluster.run_for(milliseconds(100));  // > timeout + interval slack
+  EXPECT_TRUE(f.fd(1).is_suspected(3));
+}
+
+TEST(HeartbeatFd, ListenersFireOnTransition) {
+  HbFixture f;
+  std::vector<std::pair<ProcessId, bool>> events;
+  f.fd(1).subscribe(
+      [&](ProcessId p, bool s) { events.emplace_back(p, s); });
+  f.cluster.run_for(seconds(1));
+  f.cluster.crash_at(f.cluster.now(), 2);
+  f.cluster.run_for(seconds(2));
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0], std::make_pair(ProcessId{2}, true));
+}
+
+TEST(HeartbeatFd, TimeoutGrowsAfterFalseSuspicion) {
+  // A process whose CPU stalls long enough gets falsely suspected; its
+  // next heartbeat clears the suspicion and widens the timeout (♦P's
+  // adaptation towards eventual accuracy).
+  HeartbeatConfig cfg;
+  cfg.interval = milliseconds(10);
+  cfg.initial_timeout = milliseconds(40);
+  cfg.timeout_increment = milliseconds(30);
+  HbFixture f(cfg);
+  f.cluster.run_for(milliseconds(100));
+  const Duration before = f.fd(1).timeout_of(2);
+  // Stall p2's CPU so heartbeats queue behind 80ms of "work".
+  f.cluster.network().charge_cpu(2, milliseconds(80));
+  f.cluster.run_for(seconds(1));
+  EXPECT_FALSE(f.fd(1).is_suspected(2));  // recovered
+  EXPECT_GT(f.fd(1).timeout_of(2), before);
+}
+
+TEST(PerfectFd, SuspectsExactlyTheCrashed) {
+  runtime::SimCluster cluster(4, net::NetModel::fast_test(), 5);
+  PerfectFd fd(cluster.env(1), cluster.network(), 0);
+  cluster.crash_at(milliseconds(10), 3);
+  cluster.run_for(milliseconds(20));
+  EXPECT_TRUE(fd.is_suspected(3));
+  EXPECT_FALSE(fd.is_suspected(2));
+  EXPECT_FALSE(fd.is_suspected(4));
+}
+
+TEST(PerfectFd, DetectionDelayApplies) {
+  runtime::SimCluster cluster(3, net::NetModel::fast_test(), 5);
+  PerfectFd fd(cluster.env(1), cluster.network(), milliseconds(50));
+  cluster.crash_at(milliseconds(10), 2);
+  cluster.run_for(milliseconds(30));
+  EXPECT_FALSE(fd.is_suspected(2));  // crash known, suspicion delayed
+  cluster.run_for(milliseconds(100));
+  EXPECT_TRUE(fd.is_suspected(2));
+}
+
+TEST(PerfectFd, NotifiesListeners) {
+  runtime::SimCluster cluster(3, net::NetModel::fast_test(), 5);
+  PerfectFd fd(cluster.env(1), cluster.network(), 0);
+  ProcessId seen = 0;
+  fd.subscribe([&](ProcessId p, bool s) {
+    if (s) seen = p;
+  });
+  cluster.crash_at(milliseconds(1), 3);
+  cluster.run_for(milliseconds(5));
+  EXPECT_EQ(seen, 3u);
+}
+
+TEST(ScriptedFd, FullyControlled) {
+  ScriptedFd fd;
+  std::vector<std::pair<ProcessId, bool>> events;
+  fd.subscribe([&](ProcessId p, bool s) { events.emplace_back(p, s); });
+
+  EXPECT_FALSE(fd.is_suspected(1));
+  fd.suspect(1);
+  EXPECT_TRUE(fd.is_suspected(1));
+  fd.suspect(1);  // idempotent: no second event
+  fd.restore(1);
+  EXPECT_FALSE(fd.is_suspected(1));
+  fd.restore(1);  // idempotent
+
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], std::make_pair(ProcessId{1}, true));
+  EXPECT_EQ(events[1], std::make_pair(ProcessId{1}, false));
+}
+
+}  // namespace
+}  // namespace ibc::fd

@@ -1,0 +1,141 @@
+// Randomized property tests for IdSet against a std::set reference
+// model, swept over sizes and seeds. IdSet's canonical form is what both
+// the MR estimate comparison and Algorithm 1's deterministic delivery
+// order rest on, so its set algebra has to be exactly right.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/id_set.hpp"
+#include "util/rng.hpp"
+
+namespace ibc::core {
+namespace {
+
+MessageId random_id(Rng& rng, std::uint32_t origin_bound,
+                    std::uint64_t seq_bound) {
+  return MessageId{
+      static_cast<ProcessId>(1 + rng.next_below(origin_bound)),
+      rng.next_below(seq_bound)};
+}
+
+IdSet from_reference(const std::set<MessageId>& ref) {
+  return IdSet::from_unsorted(
+      std::vector<MessageId>(ref.begin(), ref.end()));
+}
+
+bool equals_reference(const IdSet& s, const std::set<MessageId>& ref) {
+  if (s.size() != ref.size()) return false;
+  auto it = ref.begin();
+  for (const MessageId& id : s) {
+    if (!(id == *it)) return false;
+    ++it;
+  }
+  return true;
+}
+
+class IdSetRandomOps
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(IdSetRandomOps, MatchesReferenceModel) {
+  const auto [seed, ops] = GetParam();
+  Rng rng(seed);
+  IdSet subject;
+  std::set<MessageId> reference;
+
+  for (int i = 0; i < ops; ++i) {
+    const MessageId id = random_id(rng, 5, 40);  // collisions likely
+    switch (rng.next_below(4)) {
+      case 0: {  // insert
+        const bool inserted = subject.insert(id);
+        EXPECT_EQ(inserted, reference.insert(id).second);
+        break;
+      }
+      case 1: {  // contains
+        EXPECT_EQ(subject.contains(id), reference.contains(id));
+        break;
+      }
+      case 2: {  // remove a random batch
+        std::set<MessageId> batch;
+        for (int j = 0; j < 5; ++j) batch.insert(random_id(rng, 5, 40));
+        subject.remove_all(from_reference(batch));
+        for (const MessageId& b : batch) reference.erase(b);
+        break;
+      }
+      case 3: {  // merge a random batch
+        std::set<MessageId> batch;
+        for (int j = 0; j < 5; ++j) batch.insert(random_id(rng, 5, 40));
+        subject.merge(from_reference(batch));
+        reference.insert(batch.begin(), batch.end());
+        break;
+      }
+    }
+    ASSERT_TRUE(equals_reference(subject, reference)) << "after op " << i;
+  }
+
+  // Serialization is lossless and canonical at every reachable state.
+  const IdSet reparsed = IdSet::from_value(subject.to_value());
+  EXPECT_EQ(reparsed, subject);
+  EXPECT_TRUE(
+      bytes_equal(reparsed.to_value(), from_reference(reference).to_value()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, IdSetRandomOps,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u),
+                       ::testing::Values(50, 400)));
+
+TEST(IdSetAlgebra, RemoveAllThenMergeRestores) {
+  Rng rng(77);
+  for (int round = 0; round < 20; ++round) {
+    std::set<MessageId> a_ref, b_ref;
+    for (int i = 0; i < 30; ++i) a_ref.insert(random_id(rng, 4, 30));
+    for (int i = 0; i < 10; ++i) b_ref.insert(random_id(rng, 4, 30));
+    IdSet a = from_reference(a_ref);
+    const IdSet b = from_reference(b_ref);
+
+    IdSet diff = a;
+    diff.remove_all(b);
+    // (a \ b) ∪ (a ∩ b) == a
+    std::set<MessageId> inter;
+    std::set_intersection(a_ref.begin(), a_ref.end(), b_ref.begin(),
+                          b_ref.end(), std::inserter(inter, inter.end()));
+    diff.merge(from_reference(inter));
+    EXPECT_EQ(diff, a);
+  }
+}
+
+TEST(IdSetAlgebra, MergeIsCommutativeAndIdempotent) {
+  Rng rng(78);
+  for (int round = 0; round < 20; ++round) {
+    std::set<MessageId> a_ref, b_ref;
+    for (int i = 0; i < 20; ++i) a_ref.insert(random_id(rng, 4, 25));
+    for (int i = 0; i < 20; ++i) b_ref.insert(random_id(rng, 4, 25));
+    IdSet ab = from_reference(a_ref);
+    ab.merge(from_reference(b_ref));
+    IdSet ba = from_reference(b_ref);
+    ba.merge(from_reference(a_ref));
+    EXPECT_EQ(ab, ba);
+    IdSet again = ab;
+    again.merge(from_reference(b_ref));
+    EXPECT_EQ(again, ab);
+  }
+}
+
+TEST(IdSetAlgebra, DeliveryOrderMatchesSortedIds) {
+  // Algorithm 1 line 20: "elements of idSet in some deterministic order"
+  // — our canonical order must equal std::sort's.
+  Rng rng(79);
+  std::vector<MessageId> ids;
+  for (int i = 0; i < 100; ++i) ids.push_back(random_id(rng, 8, 1000));
+  const IdSet s = IdSet::from_unsorted(ids);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  ASSERT_EQ(s.size(), ids.size());
+  EXPECT_TRUE(std::equal(s.begin(), s.end(), ids.begin()));
+}
+
+}  // namespace
+}  // namespace ibc::core

@@ -1,0 +1,234 @@
+// Unit tests for the simulated network: cost pipeline, processor-sharing
+// NIC, crash semantics, determinism.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/simnet.hpp"
+#include "sim/scheduler.hpp"
+
+namespace ibc::net {
+namespace {
+
+struct Event {
+  ProcessId src, dst;
+  std::size_t size;
+  TimePoint at;
+};
+
+struct Fixture {
+  explicit Fixture(NetModel model, std::uint32_t n = 3,
+                   std::uint64_t seed = 1)
+      : net(sched, n, model, Rng(seed)) {
+    net.set_deliver([this](ProcessId s, ProcessId d, BytesView m) {
+      events.push_back(Event{s, d, m.size(), sched.now()});
+    });
+  }
+  sim::Scheduler sched;
+  SimNetwork net;
+  std::vector<Event> events;
+};
+
+NetModel simple_model() {
+  NetModel m;
+  m.send_overhead = microseconds(10);
+  m.recv_overhead = microseconds(20);
+  m.cpu_per_byte_send = 0;
+  m.cpu_per_byte_recv = 0;
+  m.bandwidth_bytes_per_sec = 1e6;  // 1 B/us: easy arithmetic
+  m.propagation = microseconds(100);
+  m.jitter = 0;
+  m.self_delivery_cost = microseconds(5);
+  m.header_bytes = 0;
+  return m;
+}
+
+TEST(SimNetwork, DeliveryTimeMatchesCostModel) {
+  Fixture f(simple_model());
+  f.net.send(1, 2, Bytes(100, 7));
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 1u);
+  // send cpu 10us + wire 100B at 1B/us = 100us + prop 100us + recv 20us.
+  EXPECT_EQ(f.events[0].at, microseconds(10 + 100 + 100 + 20));
+  EXPECT_EQ(f.events[0].src, 1u);
+  EXPECT_EQ(f.events[0].dst, 2u);
+  EXPECT_EQ(f.events[0].size, 100u);
+}
+
+TEST(SimNetwork, PerByteCpuCostsApply) {
+  NetModel m = simple_model();
+  m.cpu_per_byte_send = nanoseconds(100);
+  m.cpu_per_byte_recv = nanoseconds(50);
+  Fixture f(m);
+  f.net.send(1, 2, Bytes(1000, 7));
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 1u);
+  // +100ns*1000 on send cpu, +50ns*1000 on recv cpu.
+  EXPECT_EQ(f.events[0].at, microseconds(10 + 100) + microseconds(1000) +
+                                microseconds(100) +
+                                microseconds(20 + 50));
+}
+
+TEST(SimNetwork, LoopbackSkipsNicAndPropagation) {
+  Fixture f(simple_model());
+  f.net.send(2, 2, Bytes(100, 1));
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 1u);
+  EXPECT_EQ(f.events[0].at, microseconds(5));
+}
+
+TEST(SimNetwork, SenderCpuIsFifo) {
+  Fixture f(simple_model());
+  f.net.send(1, 2, Bytes(50, 1));
+  f.net.send(1, 3, Bytes(50, 1));  // CPU starts only after the first
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 2u);
+  // First: 10 (cpu) + 50 (wire, alone until second joins) ...
+  // Both transfers overlap on the NIC after the second's CPU completes.
+  EXPECT_LT(f.events[0].at, f.events[1].at);
+  // Second message's CPU could only start at 10us.
+  EXPECT_GE(f.events[1].at, microseconds(20 + 50 + 100 + 20));
+}
+
+TEST(SimNetwork, ProcessorSharingLetsSmallOvertakeLarge) {
+  Fixture f(simple_model());
+  f.net.send(1, 2, Bytes(100'000, 1));  // 100ms of wire time alone
+  f.net.send(1, 3, Bytes(100, 1));      // tiny
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 2u);
+  // The tiny message must complete long before the bulk transfer.
+  EXPECT_EQ(f.events[0].dst, 3u);
+  EXPECT_LT(f.events[0].at, milliseconds(2));
+  EXPECT_EQ(f.events[1].dst, 2u);
+  EXPECT_GT(f.events[1].at, milliseconds(100));
+}
+
+TEST(SimNetwork, ProcessorSharingHalvesRate) {
+  Fixture f(simple_model());
+  // Two equal transfers started back to back share the 1 B/us link.
+  f.net.send(1, 2, Bytes(1000, 1));
+  f.net.send(1, 3, Bytes(1000, 1));
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 2u);
+  // Each would take 1ms alone; sharing pushes both towards ~2ms.
+  EXPECT_GT(f.events[1].at, microseconds(10 + 1900 + 100 + 20));
+}
+
+TEST(SimNetwork, CrashDropsQueuedCpuWork) {
+  Fixture f(simple_model());
+  f.net.send(1, 2, Bytes(100, 1));
+  f.net.crash(1);  // before the send's CPU task completes
+  f.sched.run_all();
+  EXPECT_TRUE(f.events.empty());
+  EXPECT_EQ(f.net.counters().messages_dropped, 1u);
+}
+
+TEST(SimNetwork, CrashAbortsNicTransfers) {
+  Fixture f(simple_model());
+  f.net.send(1, 2, Bytes(100'000, 1));         // ~100ms on the wire
+  f.net.crash_at(milliseconds(50), 1);         // mid-transfer
+  f.sched.run_all();
+  EXPECT_TRUE(f.events.empty());
+}
+
+TEST(SimNetwork, InFlightMessageSurvivesSenderCrash) {
+  Fixture f(simple_model());
+  f.net.send(1, 2, Bytes(10, 1));
+  // CPU (10us) + wire (10us) done by 20us; propagation ends at 120us.
+  // Crashing at 50us leaves the message on the wire: it must arrive.
+  f.net.crash_at(microseconds(50), 1);
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 1u);
+}
+
+TEST(SimNetwork, ArrivalAtCrashedDestinationDropped) {
+  Fixture f(simple_model());
+  f.net.send(1, 2, Bytes(10, 1));
+  f.net.crash_at(microseconds(50), 2);
+  f.sched.run_all();
+  EXPECT_TRUE(f.events.empty());
+  EXPECT_EQ(f.net.counters().messages_dropped, 1u);
+}
+
+TEST(SimNetwork, CrashedProcessCannotSend) {
+  Fixture f(simple_model());
+  f.net.crash(1);
+  f.net.send(1, 2, Bytes(10, 1));
+  f.sched.run_all();
+  EXPECT_TRUE(f.events.empty());
+  EXPECT_EQ(f.net.counters().messages_sent, 0u);
+}
+
+TEST(SimNetwork, ChargeCpuDelaysSubsequentDeliveries) {
+  Fixture f(simple_model());
+  f.net.charge_cpu(2, milliseconds(10));
+  f.net.send(1, 2, Bytes(10, 1));
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 1u);
+  // Receiver CPU is busy until 10ms; recv processing queues behind it.
+  EXPECT_GE(f.events[0].at, milliseconds(10) + microseconds(20));
+}
+
+TEST(SimNetwork, CrashListenersFire) {
+  Fixture f(simple_model());
+  std::vector<ProcessId> crashed;
+  f.net.subscribe_crash([&](ProcessId p) { crashed.push_back(p); });
+  f.net.crash(3);
+  f.net.crash(3);  // idempotent
+  EXPECT_EQ(crashed, (std::vector<ProcessId>{3}));
+  EXPECT_TRUE(f.net.crashed(3));
+  EXPECT_EQ(f.net.alive_count(), 2u);
+}
+
+TEST(SimNetwork, CountersTrackTraffic) {
+  Fixture f(simple_model());
+  f.net.send(1, 2, Bytes(10, 1));
+  f.net.send(2, 3, Bytes(20, 1));
+  f.net.send(3, 3, Bytes(30, 1));  // loopback
+  f.sched.run_all();
+  const auto& c = f.net.counters();
+  EXPECT_EQ(c.messages_sent, 3u);
+  EXPECT_EQ(c.messages_delivered, 3u);
+  EXPECT_EQ(c.payload_bytes_sent, 60u);
+  EXPECT_EQ(c.wire_bytes_sent, 30u);  // loopback excluded
+  EXPECT_EQ(f.net.messages_sent_by(1), 1u);
+  EXPECT_EQ(f.net.messages_delivered_to(3), 2u);
+}
+
+TEST(SimNetwork, JitterIsDeterministicPerSeed) {
+  NetModel m = simple_model();
+  m.jitter = microseconds(50);
+  auto run = [&](std::uint64_t seed) {
+    Fixture f(m, 3, seed);
+    for (int i = 0; i < 20; ++i) f.net.send(1, 2, Bytes(10, 1));
+    f.sched.run_all();
+    std::vector<TimePoint> times;
+    for (const Event& e : f.events) times.push_back(e.at);
+    return times;
+  };
+  EXPECT_EQ(run(5), run(5));
+  EXPECT_NE(run(5), run(6));
+}
+
+TEST(SimNetwork, ZeroByteMessageDelivered) {
+  Fixture f(simple_model());
+  f.net.send(1, 2, Bytes{});
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 1u);
+  EXPECT_EQ(f.events[0].size, 0u);
+}
+
+TEST(SimNetwork, DeliveredHookCanCrashDestination) {
+  Fixture f(simple_model());
+  f.net.set_delivered_hook([&](ProcessId, ProcessId dst, BytesView) {
+    f.net.crash(dst);  // scripted scenarios crash mid-delivery
+  });
+  f.net.send(1, 2, Bytes(10, 1));
+  f.sched.run_all();
+  // The hook crashed p2 before the stack saw the message.
+  EXPECT_TRUE(f.events.empty());
+  EXPECT_TRUE(f.net.crashed(2));
+}
+
+}  // namespace
+}  // namespace ibc::net

@@ -1,0 +1,176 @@
+// Unit tests for the runtime: envelope routing, layer contexts, timers,
+// the SimEnv crash guards, and cluster wiring.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "runtime/sim_cluster.hpp"
+#include "runtime/stack.hpp"
+
+namespace ibc::runtime {
+namespace {
+
+/// Records everything it hears; echoes on request.
+class EchoLayer final : public Layer {
+ public:
+  EchoLayer(Stack& stack, LayerId id, std::string name)
+      : ctx_(stack.register_layer(id, *this, std::move(name))) {}
+
+  void on_start() override { started = true; }
+
+  void on_message(ProcessId from, Reader& r) override {
+    received.emplace_back(from, r.str());
+  }
+
+  void say(ProcessId dst, std::string_view text) {
+    Writer w;
+    w.str(text);
+    ctx_.send(dst, w.view());
+  }
+
+  void say_all(std::string_view text) {
+    Writer w;
+    w.str(text);
+    ctx_.send_to_all(w.view());
+  }
+
+  void say_others(std::string_view text) {
+    Writer w;
+    w.str(text);
+    ctx_.send_to_others(w.view());
+  }
+
+  LayerContext& ctx() { return ctx_; }
+
+  bool started = false;
+  std::vector<std::pair<ProcessId, std::string>> received;
+
+ private:
+  LayerContext ctx_;
+};
+
+struct Fixture {
+  Fixture() : cluster(3, net::NetModel::fast_test(), 11) {
+    for (ProcessId p = 1; p <= 3; ++p) {
+      stacks.push_back(std::make_unique<Stack>(cluster.env(p)));
+      a.push_back(std::make_unique<EchoLayer>(*stacks.back(), 10, "a"));
+      b.push_back(std::make_unique<EchoLayer>(*stacks.back(), 11, "b"));
+    }
+    for (auto& s : stacks) s->start();
+  }
+  EchoLayer& layer_a(ProcessId p) { return *a[p - 1]; }
+  EchoLayer& layer_b(ProcessId p) { return *b[p - 1]; }
+
+  SimCluster cluster;
+  std::vector<std::unique_ptr<Stack>> stacks;
+  std::vector<std::unique_ptr<EchoLayer>> a, b;
+};
+
+TEST(Stack, RoutesToTheRightLayer) {
+  Fixture f;
+  f.layer_a(1).say(2, "for-a");
+  f.layer_b(1).say(2, "for-b");
+  f.cluster.run_for(seconds(1));
+  ASSERT_EQ(f.layer_a(2).received.size(), 1u);
+  EXPECT_EQ(f.layer_a(2).received[0].second, "for-a");
+  ASSERT_EQ(f.layer_b(2).received.size(), 1u);
+  EXPECT_EQ(f.layer_b(2).received[0].second, "for-b");
+  EXPECT_TRUE(f.layer_a(3).received.empty());
+}
+
+TEST(Stack, StartReachesAllLayers) {
+  Fixture f;
+  EXPECT_TRUE(f.layer_a(1).started);
+  EXPECT_TRUE(f.layer_b(3).started);
+}
+
+TEST(Stack, SendToAllIncludesSelf) {
+  Fixture f;
+  f.layer_a(2).say_all("hi");
+  f.cluster.run_for(seconds(1));
+  for (ProcessId p = 1; p <= 3; ++p) {
+    ASSERT_EQ(f.layer_a(p).received.size(), 1u) << "p" << p;
+    EXPECT_EQ(f.layer_a(p).received[0].first, 2u);
+  }
+}
+
+TEST(Stack, SendToOthersExcludesSelf) {
+  Fixture f;
+  f.layer_a(2).say_others("hi");
+  f.cluster.run_for(seconds(1));
+  EXPECT_TRUE(f.layer_a(2).received.empty());
+  EXPECT_EQ(f.layer_a(1).received.size(), 1u);
+  EXPECT_EQ(f.layer_a(3).received.size(), 1u);
+}
+
+TEST(Stack, ContextExposesIdentity) {
+  Fixture f;
+  EXPECT_EQ(f.layer_a(2).ctx().self(), 2u);
+  EXPECT_EQ(f.layer_a(2).ctx().n(), 3u);
+}
+
+TEST(SimEnv, TimersFireAndCancel) {
+  Fixture f;
+  Env& env = f.cluster.env(1);
+  int fired = 0;
+  env.set_timer(milliseconds(5), [&] { ++fired; });
+  const TimerId cancelled = env.set_timer(milliseconds(6), [&] { ++fired; });
+  env.cancel_timer(cancelled);
+  f.cluster.run_for(milliseconds(10));
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(SimEnv, TimerSuppressedAfterCrash) {
+  Fixture f;
+  Env& env = f.cluster.env(1);
+  bool fired = false;
+  env.set_timer(milliseconds(5), [&] { fired = true; });
+  f.cluster.crash_at(milliseconds(1), 1);
+  f.cluster.run_for(milliseconds(10));
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimEnv, DeferRunsAsynchronouslyInOrder) {
+  Fixture f;
+  Env& env = f.cluster.env(1);
+  std::vector<int> order;
+  env.defer([&] {
+    order.push_back(1);
+    env.defer([&] { order.push_back(3); });
+    order.push_back(2);
+  });
+  f.cluster.run_for(milliseconds(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(SimEnv, RngStreamsDifferPerProcess) {
+  Fixture f;
+  EXPECT_NE(f.cluster.env(1).rng().next_u64(),
+            f.cluster.env(2).rng().next_u64());
+}
+
+TEST(SimEnv, MessagesToCrashedProcessVanish) {
+  Fixture f;
+  f.cluster.crash_at(0, 3);
+  f.cluster.run_for(milliseconds(1));
+  f.layer_a(1).say(3, "into the void");
+  f.cluster.run_for(seconds(1));
+  EXPECT_TRUE(f.layer_a(3).received.empty());
+}
+
+TEST(SimCluster, IdenticalSeedsIdenticalRuns) {
+  auto run = [](std::uint64_t seed) {
+    SimCluster cluster(2, net::NetModel::setup1(), seed);
+    Stack s1(cluster.env(1)), s2(cluster.env(2));
+    EchoLayer a1(s1, 10, "x"), a2(s2, 10, "x");
+    s1.start();
+    s2.start();
+    for (int i = 0; i < 50; ++i) a1.say(2, "m" + std::to_string(i));
+    cluster.run_for(seconds(1));
+    return cluster.scheduler().events_executed();
+  };
+  EXPECT_EQ(run(17), run(17));
+}
+
+}  // namespace
+}  // namespace ibc::runtime

@@ -1,0 +1,137 @@
+// Unit tests for the discrete-event scheduler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace ibc::sim {
+namespace {
+
+TEST(Scheduler, FiresInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(30, [&] { order.push_back(3); });
+  s.schedule_at(10, [&] { order.push_back(1); });
+  s.schedule_at(20, [&] { order.push_back(2); });
+  s.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), 30);
+}
+
+TEST(Scheduler, SimultaneousEventsFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i)
+    s.schedule_at(5, [&order, i] { order.push_back(i); });
+  s.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, ClockOnlyAdvances) {
+  Scheduler s;
+  TimePoint seen = -1;
+  s.schedule_at(7, [&] { seen = s.now(); });
+  EXPECT_EQ(s.now(), 0);
+  s.run_all();
+  EXPECT_EQ(seen, 7);
+  EXPECT_EQ(s.now(), 7);
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool fired = false;
+  const EventId id = s.schedule_at(10, [&] { fired = true; });
+  s.cancel(id);
+  s.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, CancelAfterFireIsNoop) {
+  Scheduler s;
+  const EventId id = s.schedule_at(1, [] {});
+  s.run_all();
+  s.cancel(id);  // must not crash or corrupt state
+  EXPECT_TRUE(s.empty());
+}
+
+TEST(Scheduler, EventsScheduledDuringExecutionRun) {
+  Scheduler s;
+  int depth = 0;
+  s.schedule_at(1, [&] {
+    ++depth;
+    s.schedule_after(1, [&] {
+      ++depth;
+      s.schedule_after(1, [&] { ++depth; });
+    });
+  });
+  s.run_all();
+  EXPECT_EQ(depth, 3);
+  EXPECT_EQ(s.now(), 3);
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizonAndAdvancesClock) {
+  Scheduler s;
+  std::vector<TimePoint> fired;
+  for (TimePoint t : {5, 10, 15, 20})
+    s.schedule_at(t, [&fired, &s] { fired.push_back(s.now()); });
+  const std::size_t count = s.run_until(12);
+  EXPECT_EQ(count, 2u);
+  EXPECT_EQ(s.now(), 12);
+  EXPECT_EQ(fired, (std::vector<TimePoint>{5, 10}));
+  s.run_all();
+  EXPECT_EQ(fired.size(), 4u);
+}
+
+TEST(Scheduler, RunUntilBoundaryIsInclusive) {
+  Scheduler s;
+  bool fired = false;
+  s.schedule_at(10, [&] { fired = true; });
+  s.run_until(10);
+  EXPECT_TRUE(fired);
+}
+
+TEST(Scheduler, RunAllHonoursEventLimit) {
+  Scheduler s;
+  // A self-perpetuating event chain: the limit must stop it.
+  std::function<void()> loop = [&] { s.schedule_after(1, loop); };
+  s.schedule_after(1, loop);
+  const std::size_t executed = s.run_all(100);
+  EXPECT_EQ(executed, 100u);
+}
+
+TEST(Scheduler, ZeroDelayEventRunsAtSameTime) {
+  Scheduler s;
+  TimePoint at = -1;
+  s.schedule_at(5, [&] {
+    s.schedule_after(0, [&] { at = s.now(); });
+  });
+  s.run_all();
+  EXPECT_EQ(at, 5);
+}
+
+TEST(Scheduler, EmptyAndCounters) {
+  Scheduler s;
+  EXPECT_TRUE(s.empty());
+  s.schedule_at(1, [] {});
+  EXPECT_FALSE(s.empty());
+  EXPECT_TRUE(s.step());
+  EXPECT_FALSE(s.step());
+  EXPECT_EQ(s.events_executed(), 1u);
+}
+
+TEST(Scheduler, StableUnderManyMixedOperations) {
+  Scheduler s;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i)
+    ids.push_back(s.schedule_at(i % 97, [&] { ++fired; }));
+  for (std::size_t i = 0; i < ids.size(); i += 3) s.cancel(ids[i]);
+  s.run_all();
+  EXPECT_EQ(fired, 1000 - 334);
+  EXPECT_TRUE(s.empty());
+}
+
+}  // namespace
+}  // namespace ibc::sim

@@ -1,0 +1,146 @@
+// Tests for the measurement harness: the latency recorder's bookkeeping
+// and the experiment driver's determinism and sanity.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workload/experiment.hpp"
+#include "workload/latency.hpp"
+#include "workload/series.hpp"
+
+namespace ibc::workload {
+namespace {
+
+TEST(LatencyRecorder, AveragesOverAllDeliveries) {
+  LatencyRecorder rec(0, seconds(10), 2);
+  const MessageId id{1, 1};
+  rec.on_broadcast(id, milliseconds(100));
+  rec.on_delivery(id, 1, milliseconds(101));
+  rec.on_delivery(id, 2, milliseconds(103));
+  EXPECT_EQ(rec.samples().count(), 2u);
+  EXPECT_DOUBLE_EQ(rec.samples().mean(), 2.0);  // (1ms + 3ms) / 2
+}
+
+TEST(LatencyRecorder, WindowFiltersByBroadcastTime) {
+  LatencyRecorder rec(seconds(1), seconds(2), 1);
+  const MessageId before{1, 1}, inside{1, 2}, after{1, 3};
+  rec.on_broadcast(before, milliseconds(500));
+  rec.on_broadcast(inside, milliseconds(1500));
+  rec.on_broadcast(after, milliseconds(2500));
+  rec.on_delivery(before, 1, milliseconds(501));
+  rec.on_delivery(inside, 1, milliseconds(1501));
+  rec.on_delivery(after, 1, milliseconds(2501));
+  EXPECT_EQ(rec.broadcasts_in_window(), 1u);
+  EXPECT_EQ(rec.samples().count(), 1u);
+}
+
+TEST(LatencyRecorder, UndeliveredCountsIncompleteWindowMessages) {
+  LatencyRecorder rec(0, seconds(10), 3);
+  const MessageId a{1, 1}, b{1, 2};
+  rec.on_broadcast(a, seconds(1));
+  rec.on_broadcast(b, seconds(2));
+  rec.on_delivery(a, 1, seconds(3));
+  rec.on_delivery(a, 2, seconds(3));
+  rec.on_delivery(a, 3, seconds(3));
+  rec.on_delivery(b, 1, seconds(4));
+  EXPECT_EQ(rec.undelivered(3), 1u);  // b reached only one process
+  EXPECT_EQ(rec.undelivered(1), 0u);  // with one alive process, complete
+}
+
+TEST(LatencyRecorder, DetectsTotalOrderViolation) {
+  LatencyRecorder rec(0, seconds(10), 2);
+  const MessageId a{1, 1}, b{2, 1};
+  rec.on_broadcast(a, 0);
+  rec.on_broadcast(b, 0);
+  rec.on_delivery(a, 1, 1);
+  rec.on_delivery(b, 1, 2);
+  EXPECT_TRUE(rec.total_order_ok());
+  rec.on_delivery(b, 2, 1);  // p2 delivers b before a: violation
+  rec.on_delivery(a, 2, 2);
+  EXPECT_FALSE(rec.total_order_ok());
+}
+
+TEST(Experiment, DeterministicForFixedSeed) {
+  ExperimentConfig cfg;
+  cfg.n = 3;
+  cfg.stack.indirect.rcv_check_cost_per_id =
+      cfg.model.rcv_check_cost_per_id;
+  cfg.throughput_msgs_per_sec = 200;
+  cfg.warmup = milliseconds(500);
+  cfg.measure = seconds(2);
+  cfg.drain = seconds(1);
+  cfg.seed = 99;
+  const ExperimentResult a = run_experiment(cfg);
+  const ExperimentResult b = run_experiment(cfg);
+  EXPECT_EQ(a.samples, b.samples);
+  EXPECT_DOUBLE_EQ(a.mean_latency_ms, b.mean_latency_ms);
+  EXPECT_EQ(a.messages_sent, b.messages_sent);
+
+  cfg.seed = 100;
+  const ExperimentResult c = run_experiment(cfg);
+  EXPECT_NE(a.mean_latency_ms, c.mean_latency_ms);
+}
+
+TEST(Experiment, HealthyRunDeliversEverything) {
+  ExperimentConfig cfg;
+  cfg.n = 3;
+  cfg.stack.indirect.rcv_check_cost_per_id =
+      cfg.model.rcv_check_cost_per_id;
+  cfg.throughput_msgs_per_sec = 100;
+  cfg.warmup = milliseconds(500);
+  cfg.measure = seconds(2);
+  cfg.drain = seconds(2);
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_GT(r.samples, 0u);
+  EXPECT_EQ(r.undelivered, 0u);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_TRUE(r.total_order_ok);
+  EXPECT_GT(r.mean_latency_ms, 0.5);  // sane for Setup 1
+  EXPECT_LT(r.mean_latency_ms, 10.0);
+  // Symmetric workload: achieved ≈ offered.
+  EXPECT_NEAR(r.achieved_throughput, 100.0, 25.0);
+}
+
+TEST(Experiment, LatencyRisesWithThroughput) {
+  auto run_at = [](double tput) {
+    ExperimentConfig cfg;
+    cfg.n = 5;
+    cfg.stack.indirect.rcv_check_cost_per_id =
+        cfg.model.rcv_check_cost_per_id;
+    cfg.throughput_msgs_per_sec = tput;
+    cfg.warmup = seconds(1);
+    cfg.measure = seconds(4);
+    cfg.drain = seconds(2);
+    return run_experiment(cfg).mean_latency_ms;
+  };
+  EXPECT_LT(run_at(50), run_at(600));
+}
+
+TEST(Experiment, CrashDuringWarmupStillDelivers) {
+  ExperimentConfig cfg;
+  cfg.n = 5;
+  cfg.stack.indirect.rcv_check_cost_per_id =
+      cfg.model.rcv_check_cost_per_id;
+  cfg.throughput_msgs_per_sec = 50;
+  cfg.warmup = seconds(2);
+  cfg.measure = seconds(3);
+  cfg.drain = seconds(3);
+  cfg.crashes.push_back({5, seconds(1)});
+  const ExperimentResult r = run_experiment(cfg);
+  EXPECT_EQ(r.undelivered, 0u);
+  EXPECT_TRUE(r.total_order_ok);
+}
+
+TEST(Series, SaturatedMarkerIsNaN) {
+  EXPECT_TRUE(std::isnan(saturated_marker()));
+}
+
+TEST(Series, PrintTableRuns) {
+  // Smoke: formatting must handle values and NaN without crashing.
+  print_table("test table", "x", {1, 2},
+              {Series{"a", {1.25, saturated_marker()}},
+               Series{"b", {0.5, 2.0}}});
+}
+
+}  // namespace
+}  // namespace ibc::workload
