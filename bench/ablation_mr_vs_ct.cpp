@@ -11,8 +11,9 @@
 #include "bench_common.hpp"
 #include "consensus/consensus.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ibc;
+  workload::BenchReport report("ablation_mr_vs_ct", argc, argv);
   const net::NetModel model = net::NetModel::setup1();
   const std::vector<double> tputs = {10, 100, 400, 800};
 
@@ -34,12 +35,18 @@ int main() {
                   "Ablation: indirect CT vs indirect MR, latency [ms] vs "
                   "throughput, n=%u, size=1 B (Setup 1)",
                   n);
-    workload::print_table(title, "msgs/s", tputs, {ct, mr});
-    std::printf(
-        "  quorums at n=%u: CT majority=%u; MR phase-2=%u "
-        "(tolerates f_CT=%u, f_MR=%u crashes)\n",
-        n, consensus::majority(n), consensus::two_thirds_quorum(n),
-        n - consensus::majority(n), n - consensus::two_thirds_quorum(n));
+    report.table(title, "msgs/s", tputs, {ct, mr});
+    if (!report.quiet())
+      std::printf(
+          "  quorums at n=%u: CT majority=%u; MR phase-2=%u "
+          "(tolerates f_CT=%u, f_MR=%u crashes)\n",
+          n, consensus::majority(n), consensus::two_thirds_quorum(n),
+          n - consensus::majority(n), n - consensus::two_thirds_quorum(n));
+    char key[32], val[64];
+    std::snprintf(key, sizeof key, "quorums n=%u", n);
+    std::snprintf(val, sizeof val, "CT majority=%u, MR phase-2=%u",
+                  consensus::majority(n), consensus::two_thirds_quorum(n));
+    report.note(key, val);
   }
-  return 0;
+  return report.finish();
 }

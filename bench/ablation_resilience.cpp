@@ -6,21 +6,29 @@
 // headline cost of adapting MR. Each row reports whether all messages
 // broadcast after the crashes were delivered by every survivor.
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ibc;
+  workload::BenchReport report("ablation_resilience", argc, argv);
   const net::NetModel model = net::NetModel::setup1();
 
-  std::printf(
-      "== Resilience under f crashes (crashes at t=1s, measurement "
-      "starts at t=3s, 100 msg/s, Setup 1) ==\n");
-  std::printf("%4s %4s  %-26s %-26s\n", "n", "f", "indirect CT (f<n/2)",
-              "indirect MR (f<n/3)");
+  if (!report.quiet()) {
+    std::printf(
+        "== Resilience under f crashes (crashes at t=1s, measurement "
+        "starts at t=3s, 100 msg/s, Setup 1) ==\n");
+    std::printf("%4s %4s  %-26s %-26s\n", "n", "f", "indirect CT (f<n/2)",
+                "indirect MR (f<n/3)");
+  }
 
   for (const std::uint32_t n : {4u, 5u, 7u}) {
+    std::vector<double> fs;
+    workload::Series ct{"indirect CT mean latency [ms]", {}};
+    workload::Series mr{"indirect MR mean latency [ms]", {}};
     for (std::uint32_t f = 0; f <= (n - 1) / 2; ++f) {
+      fs.push_back(f);
       std::string cells[2];
       for (int a = 0; a < 2; ++a) {
         workload::ExperimentConfig cfg;
@@ -37,7 +45,8 @@ int main() {
           cfg.crashes.push_back({static_cast<ProcessId>(2 + i), seconds(1)});
         const auto r = workload::run_experiment(cfg);
         char buf[64];
-        if (r.undelivered == 0 && r.broadcasts_measured > 0) {
+        const bool ok = r.undelivered == 0 && r.broadcasts_measured > 0;
+        if (ok) {
           std::snprintf(buf, sizeof buf, "OK (%.2f ms)",
                         r.mean_latency_ms);
         } else {
@@ -45,13 +54,22 @@ int main() {
                         r.undelivered);
         }
         cells[a] = buf;
+        // Blocked points record as null, like saturation in the figures.
+        (a == 0 ? ct : mr).values.push_back(
+            ok ? r.mean_latency_ms : workload::saturated_marker());
       }
-      std::printf("%4u %4u  %-26s %-26s\n", n, f, cells[0].c_str(),
-                  cells[1].c_str());
+      if (!report.quiet())
+        std::printf("%4u %4u  %-26s %-26s\n", n, f, cells[0].c_str(),
+                    cells[1].c_str());
     }
+    char title[96];
+    std::snprintf(title, sizeof title,
+                  "Resilience under f crashes, n=%u (null = blocked)", n);
+    report.record(title, "f", fs, {ct, mr});
   }
-  std::printf(
-      "\nExpected: CT rows stay OK up to f = ceil(n/2)-1; MR rows block "
-      "once f >= n/3 — the resilience reduction of Algorithm 3.\n");
-  return 0;
+  if (!report.quiet())
+    std::printf(
+        "\nExpected: CT rows stay OK up to f = ceil(n/2)-1; MR rows block "
+        "once f >= n/3 — the resilience reduction of Algorithm 3.\n");
+  return report.finish();
 }

@@ -13,8 +13,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ibc;
+  workload::BenchReport report("fig1_latency_vs_size", argc, argv);
   const net::NetModel model = net::NetModel::setup1();
   const std::vector<double> sizes = {1,    500,  1000, 1500, 2000,
                                      2500, 3000, 3500, 4000, 5000};
@@ -36,7 +37,7 @@ int main() {
                   "Figure 1%s: latency [ms] vs size of messages [bytes], "
                   "n=3, throughput=%.0f msgs/s (Setup 1)",
                   tput == 100.0 ? "a" : "b", tput);
-    workload::print_table(title, "size [B]", sizes, {indirect, direct});
+    report.table(title, "size [B]", sizes, {indirect, direct});
   }
-  return 0;
+  return report.finish();
 }

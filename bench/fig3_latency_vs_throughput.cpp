@@ -14,8 +14,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ibc;
+  workload::BenchReport report("fig3_latency_vs_throughput", argc, argv);
   const net::NetModel model = net::NetModel::setup1();
   const std::vector<double> tputs = {10,  50,  100, 200, 300, 400,
                                      500, 600, 700, 800};
@@ -36,7 +37,7 @@ int main() {
                   "Figure 3%s: latency [ms] vs throughput [msgs/s], n=%u, "
                   "size=1 B (Setup 1)",
                   n == 3 ? "a" : "b", n);
-    workload::print_table(title, "msgs/s", tputs, {indirect, faulty});
+    report.table(title, "msgs/s", tputs, {indirect, faulty});
   }
-  return 0;
+  return report.finish();
 }

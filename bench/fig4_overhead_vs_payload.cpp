@@ -9,8 +9,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ibc;
+  workload::BenchReport report("fig4_overhead_vs_payload", argc, argv);
   const net::NetModel model = net::NetModel::setup1();
   const std::vector<double> sizes = {1, 1000, 2000, 3000, 4000, 5000};
 
@@ -32,7 +33,7 @@ int main() {
                   "Figure 4%c: latency [ms] vs size of messages [bytes], "
                   "n=5, throughput=%.0f msgs/s (Setup 1)",
                   'a' + sub++, tput);
-    workload::print_table(title, "size [B]", sizes, {indirect, faulty});
+    report.table(title, "size [B]", sizes, {indirect, faulty});
   }
-  return 0;
+  return report.finish();
 }

@@ -11,8 +11,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ibc;
+  workload::BenchReport report("fig5_correct_approaches_n2", argc, argv);
   const net::NetModel model = net::NetModel::setup2();
   const std::vector<double> sizes = {1, 500, 1000, 1500, 2000, 2500};
 
@@ -34,7 +35,7 @@ int main() {
                   "Figure 5%c: latency [ms] vs size [bytes], n=3, "
                   "throughput=%.0f msgs/s, RB in O(n^2) (Setup 2)",
                   'a' + sub++, tput);
-    workload::print_table(title, "size [B]", sizes, {indirect, urb});
+    report.table(title, "size [B]", sizes, {indirect, urb});
   }
-  return 0;
+  return report.finish();
 }

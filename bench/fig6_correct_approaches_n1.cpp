@@ -12,8 +12,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ibc;
+  workload::BenchReport report("fig6_correct_approaches_n1", argc, argv);
   const net::NetModel model = net::NetModel::setup2();
   const std::vector<double> sizes = {1, 500, 1000, 1500, 2000, 2500};
 
@@ -35,7 +36,7 @@ int main() {
                   "Figure 6%c: latency [ms] vs size [bytes], n=3, "
                   "throughput=%.0f msgs/s, RB in O(n) (Setup 2)",
                   'a' + sub++, tput);
-    workload::print_table(title, "size [B]", sizes, {indirect, urb});
+    report.table(title, "size [B]", sizes, {indirect, urb});
   }
-  return 0;
+  return report.finish();
 }

@@ -9,8 +9,9 @@
 
 #include "bench_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace ibc;
+  workload::BenchReport report("fig7_throughput_setup2", argc, argv);
   const net::NetModel model = net::NetModel::setup2();
   const std::vector<double> tputs = {500,  750,  1000, 1250,
                                      1500, 1750, 2000};
@@ -39,7 +40,7 @@ int main() {
                   "Figure 7%s: latency [ms] vs throughput [msgs/s], n=3, "
                   "size=1 B (Setup 2)",
                   panel.sub);
-    workload::print_table(title, "msgs/s", tputs, {indirect, urb});
+    report.table(title, "msgs/s", tputs, {indirect, urb});
   }
-  return 0;
+  return report.finish();
 }

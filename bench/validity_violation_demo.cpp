@@ -15,6 +15,7 @@
 
 #include "abcast/stack_builder.hpp"
 #include "runtime/sim_cluster.hpp"
+#include "workload/series.hpp"
 
 namespace {
 
@@ -75,14 +76,17 @@ Outcome run(const abcast::StackConfig& cfg) {
 
 }  // namespace
 
-int main() {
-  std::printf(
-      "== §2.2 scenario: coordinator p2 abroadcasts 200 KB, crashes at "
-      "8 ms with the payload in flight ==\n"
-      "   (p1 and p3 abroadcast small messages at t = 1 ms and stay "
-      "correct)\n\n");
-  std::printf("%-44s %-22s %-18s %s\n", "stack", "correct msgs delivered",
-              "queue blocked", "p1 deliveries");
+int main(int argc, char** argv) {
+  ibc::workload::BenchReport report("validity_violation_demo", argc, argv);
+  if (!report.quiet()) {
+    std::printf(
+        "== §2.2 scenario: coordinator p2 abroadcasts 200 KB, crashes at "
+        "8 ms with the payload in flight ==\n"
+        "   (p1 and p3 abroadcast small messages at t = 1 ms and stay "
+        "correct)\n\n");
+    std::printf("%-44s %-22s %-18s %s\n", "stack", "correct msgs delivered",
+                "queue blocked", "p1 deliveries");
+  }
 
   abcast::StackConfig faulty;
   faulty.variant = abcast::Variant::kIdsPlain;
@@ -94,14 +98,23 @@ int main() {
 
   for (const auto& cfg : {faulty, indirect, urb}) {
     const Outcome o = run(cfg);
-    std::printf("%-44s %-22s %-18s %zu\n", o.stack.c_str(),
-                o.correct_msgs_delivered ? "yes" : "NO  <- Validity violated",
-                o.blocked ? "YES (forever)" : "no", o.delivered_at_p1);
+    if (!report.quiet())
+      std::printf("%-44s %-22s %-18s %zu\n", o.stack.c_str(),
+                  o.correct_msgs_delivered ? "yes"
+                                           : "NO  <- Validity violated",
+                  o.blocked ? "YES (forever)" : "no", o.delivered_at_p1);
+    char val[96];
+    std::snprintf(val, sizeof val,
+                  "correct_msgs_delivered=%s blocked=%s p1_deliveries=%zu",
+                  o.correct_msgs_delivered ? "yes" : "no",
+                  o.blocked ? "yes" : "no", o.delivered_at_p1);
+    report.note(o.stack, val);
   }
-  std::printf(
-      "\nThe faulty stack ordered id(m) before anyone held m; with m lost "
-      "in the crash,\nevery later message is stuck behind it. Indirect "
-      "consensus refuses to adopt a\nproposal whose messages are missing "
-      "(rcv gate), so the dead proposal dies with p2.\n");
-  return 0;
+  if (!report.quiet())
+    std::printf(
+        "\nThe faulty stack ordered id(m) before anyone held m; with m "
+        "lost in the crash,\nevery later message is stuck behind it. "
+        "Indirect consensus refuses to adopt a\nproposal whose messages "
+        "are missing (rcv gate), so the dead proposal dies with p2.\n");
+  return report.finish();
 }

@@ -2,7 +2,10 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <limits>
+#include <sstream>
 
 #include "util/assert.hpp"
 
@@ -38,6 +41,159 @@ void print_table(std::string_view title, std::string_view x_label,
     std::printf("\n");
   }
   std::fflush(stdout);
+}
+
+namespace {
+
+void append_json_string(std::ostringstream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+void append_json_number(std::ostringstream& out, double v) {
+  if (std::isnan(v) || std::isinf(v)) {
+    out << "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  out << buf;
+}
+
+/// True for values that look like another option rather than a path;
+/// "-" (stdout) is the one allowed dash-prefixed value.
+bool flag_shaped(std::string_view v) {
+  return v.size() > 1 && v.front() == '-';
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string bench_name, int argc,
+                         char* const* argv)
+    : bench_name_(std::move(bench_name)) {
+  const char* usage_error = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      path_ = arg.substr(7);
+      if (path_.empty() || flag_shaped(path_))
+        usage_error = "--json= requires a path (or \"-\" for stdout)";
+      break;
+    }
+    if (arg == "--json") {
+      if (i + 1 >= argc || flag_shaped(argv[i + 1]))
+        usage_error = "--json requires a path (or \"-\" for stdout)";
+      else
+        path_ = argv[i + 1];
+      break;
+    }
+  }
+  // Fail fast: a figure sweep can take minutes, and running it only to
+  // report the bad flag at the end would waste the whole run.
+  if (usage_error) {
+    std::fprintf(stderr, "error: %s\n", usage_error);
+    std::exit(2);
+  }
+  if (path_.empty()) {
+    if (const char* env = std::getenv("IBC_BENCH_JSON"); env && *env)
+      path_ = env;
+  }
+}
+
+void BenchReport::table(std::string_view title, std::string_view x_label,
+                        const std::vector<double>& xs,
+                        const std::vector<Series>& series) {
+  if (!quiet()) print_table(title, x_label, xs, series);
+  record(title, x_label, xs, series);
+}
+
+void BenchReport::record(std::string_view title, std::string_view x_label,
+                         const std::vector<double>& xs,
+                         const std::vector<Series>& series) {
+  for (const Series& s : series) IBC_REQUIRE(s.values.size() == xs.size());
+  tables_.push_back(
+      Table{std::string(title), std::string(x_label), xs, series});
+}
+
+void BenchReport::note(std::string_view key, std::string_view value) {
+  notes_.push_back(Note{std::string(key), std::string(value)});
+}
+
+std::string BenchReport::to_json() const {
+  std::ostringstream out;
+  out << "{\n  \"bench\": ";
+  append_json_string(out, bench_name_);
+  out << ",\n  \"tables\": [";
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    const Table& tab = tables_[t];
+    out << (t ? ",\n    {" : "\n    {") << "\"title\": ";
+    append_json_string(out, tab.title);
+    out << ", \"x_label\": ";
+    append_json_string(out, tab.x_label);
+    out << ",\n     \"x\": [";
+    for (std::size_t i = 0; i < tab.xs.size(); ++i) {
+      if (i) out << ", ";
+      append_json_number(out, tab.xs[i]);
+    }
+    out << "],\n     \"series\": [";
+    for (std::size_t s = 0; s < tab.series.size(); ++s) {
+      if (s) out << ",\n                ";
+      out << "{\"name\": ";
+      append_json_string(out, tab.series[s].name);
+      out << ", \"values\": [";
+      for (std::size_t i = 0; i < tab.series[s].values.size(); ++i) {
+        if (i) out << ", ";
+        append_json_number(out, tab.series[s].values[i]);
+      }
+      out << "]}";
+    }
+    out << "]}";
+  }
+  out << (tables_.empty() ? "]" : "\n  ]") << ",\n  \"notes\": {";
+  for (std::size_t i = 0; i < notes_.size(); ++i) {
+    if (i) out << ", ";
+    out << "\n    ";
+    append_json_string(out, notes_[i].key);
+    out << ": ";
+    append_json_string(out, notes_[i].value);
+  }
+  out << (notes_.empty() ? "}" : "\n  }") << "\n}\n";
+  return out.str();
+}
+
+int BenchReport::finish() const {
+  if (path_.empty()) return 0;
+  const std::string doc = to_json();
+  if (path_ == "-") {
+    std::fputs(doc.c_str(), stdout);
+    return 0;
+  }
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  out << doc;
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: could not write JSON report to %s\n",
+                 path_.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote JSON report to %s\n", path_.c_str());
+  return 0;
 }
 
 }  // namespace ibc::workload

@@ -27,4 +27,73 @@ void print_table(std::string_view title, std::string_view x_label,
 /// Marker used by benches for saturated points.
 double saturated_marker();
 
+/// Accumulates everything a bench emits so the run can also be written out
+/// as a single JSON document (for tracking BENCH_*.json trajectories across
+/// PRs). A bench constructs one report from its argv, routes its tables
+/// through it, and returns `finish()` from main; JSON is written only when
+/// asked for via `--json=PATH`, `--json PATH` or the IBC_BENCH_JSON
+/// environment variable. `--json=-` writes the document to stdout and
+/// switches the bench to quiet mode (tables are recorded, not printed) so
+/// stdout stays parseable; benches gate their own printf output on
+/// `quiet()` for the same reason.
+///
+/// Document shape:
+///   {"bench": <name>,
+///    "tables": [{"title":.., "x_label":.., "x":[..],
+///                "series":[{"name":.., "values":[..]}]}],
+///    "notes": {<key>: <value>, ...}}
+/// Saturated/absent points (NaN) serialize as null.
+class BenchReport {
+ public:
+  /// Parses the JSON destination from argv/environment. A dangling
+  /// `--json` or a flag-shaped path is a usage error: reported to stderr
+  /// and exits 2 immediately (a figure sweep can take minutes — don't run
+  /// it just to fail at the end).
+  BenchReport(std::string bench_name, int argc = 0,
+              char* const* argv = nullptr);
+
+  /// True when JSON goes to stdout: skip human-readable output.
+  bool quiet() const { return path_ == "-"; }
+
+  /// Prints the paper-style table (print_table; skipped in quiet mode)
+  /// and records it.
+  void table(std::string_view title, std::string_view x_label,
+             const std::vector<double>& xs,
+             const std::vector<Series>& series);
+
+  /// Records a table without printing — for benches whose stdout format
+  /// is not the paper-style grid.
+  void record(std::string_view title, std::string_view x_label,
+              const std::vector<double>& xs,
+              const std::vector<Series>& series);
+
+  /// Records a free-form string fact under "notes".
+  void note(std::string_view key, std::string_view value);
+
+  /// Serializes the whole report.
+  std::string to_json() const;
+
+  /// Writes to_json() to the destination parsed at construction; no-op
+  /// when none was requested. Returns the bench's exit code: 0 on
+  /// success or nothing-to-do, 1 on I/O failure.
+  int finish() const;
+
+ private:
+  struct Table {
+    std::string title;
+    std::string x_label;
+    std::vector<double> xs;
+    std::vector<Series> series;
+  };
+  struct Note {
+    std::string key;
+    std::string value;
+  };
+
+  std::string bench_name_;
+  std::string path_;  // "" = JSON not requested, "-" = stdout
+  std::vector<Table> tables_;
+  std::vector<Note> notes_;
+};
+
 }  // namespace ibc::workload

@@ -3,6 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
 
 #include "workload/experiment.hpp"
 #include "workload/latency.hpp"
@@ -140,6 +144,79 @@ TEST(Series, PrintTableRuns) {
   print_table("test table", "x", {1, 2},
               {Series{"a", {1.25, saturated_marker()}},
                Series{"b", {0.5, 2.0}}});
+}
+
+TEST(BenchReport, EmptyReportIsValidJson) {
+  const BenchReport report("empty");
+  EXPECT_EQ(report.to_json(),
+            "{\n  \"bench\": \"empty\",\n  \"tables\": [],"
+            "\n  \"notes\": {}\n}\n");
+}
+
+TEST(BenchReport, SerializesTablesNotesAndNulls) {
+  BenchReport report("demo");
+  report.record("t1", "x", {1, 2},
+                {Series{"a", {1.5, saturated_marker()}}});
+  report.note("key", "value");
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"bench\": \"demo\""), std::string::npos);
+  EXPECT_NE(json.find("\"x_label\": \"x\""), std::string::npos);
+  EXPECT_NE(json.find("\"values\": [1.5, null]"), std::string::npos);
+  EXPECT_NE(json.find("\"key\": \"value\""), std::string::npos);
+}
+
+TEST(BenchReport, EscapesSpecialCharacters) {
+  BenchReport report("esc");
+  report.note("quote\"back\\slash", "tab\tnewline\n");
+  const std::string json = report.to_json();
+  EXPECT_NE(json.find("\"quote\\\"back\\\\slash\""), std::string::npos);
+  EXPECT_NE(json.find("\"tab\\tnewline\\n\""), std::string::npos);
+}
+
+TEST(BenchReport, ParsesJsonPathFromArgv) {
+  const char* eq[] = {"bench", "--json=/tmp/a.json"};
+  EXPECT_FALSE(
+      BenchReport("b", 2, const_cast<char* const*>(eq)).quiet());
+  const char* dash[] = {"bench", "--json=-"};
+  EXPECT_TRUE(
+      BenchReport("b", 2, const_cast<char* const*>(dash)).quiet());
+  const char* split[] = {"bench", "--json", "-"};
+  EXPECT_TRUE(
+      BenchReport("b", 3, const_cast<char* const*>(split)).quiet());
+  EXPECT_FALSE(BenchReport("b").quiet());
+}
+
+TEST(BenchReportDeathTest, DanglingJsonFlagExitsEarly) {
+  const char* dangling[] = {"bench", "--json"};
+  EXPECT_EXIT(BenchReport("b", 2, const_cast<char* const*>(dangling)),
+              testing::ExitedWithCode(2), "--json requires a path");
+  const char* flagged[] = {"bench", "--json", "--other"};
+  EXPECT_EXIT(BenchReport("b", 3, const_cast<char* const*>(flagged)),
+              testing::ExitedWithCode(2), "--json requires a path");
+  const char* empty[] = {"bench", "--json="};
+  EXPECT_EXIT(BenchReport("b", 2, const_cast<char* const*>(empty)),
+              testing::ExitedWithCode(2), "--json= requires a path");
+}
+
+TEST(BenchReport, FinishWritesRequestedFile) {
+  const std::string path =
+      testing::TempDir() + "/ibc_bench_report_test.json";
+  const std::string flag = "--json=" + path;
+  const char* args[] = {"bench", flag.c_str()};
+  BenchReport report("file_demo", 2, const_cast<char* const*>(args));
+  report.record("t", "x", {1}, {Series{"s", {2.5}}});
+  EXPECT_EQ(report.finish(), 0);
+  std::ifstream in(path);
+  std::stringstream content;
+  content << in.rdbuf();
+  EXPECT_EQ(content.str(), report.to_json());
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, FinishReportsUnwritablePath) {
+  const char* args[] = {"bench", "--json=/nonexistent-dir/x.json"};
+  BenchReport report("bad_path", 2, const_cast<char* const*>(args));
+  EXPECT_EQ(report.finish(), 1);
 }
 
 }  // namespace
