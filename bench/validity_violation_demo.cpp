@@ -13,8 +13,7 @@
 #include <cstdio>
 #include <optional>
 
-#include "abcast/stack_builder.hpp"
-#include "runtime/sim_cluster.hpp"
+#include "runtime/cluster.hpp"
 #include "workload/series.hpp"
 
 namespace {
@@ -37,40 +36,27 @@ net::NetModel scenario_model() {
 }
 
 Outcome run(const abcast::StackConfig& cfg) {
-  runtime::SimCluster cluster(3, scenario_model(), /*seed=*/3);
-  std::vector<std::unique_ptr<abcast::ProcessStack>> stacks(1);
-  std::vector<std::vector<MessageId>> logs(4);
-  for (ProcessId p = 1; p <= 3; ++p) {
-    stacks.push_back(std::make_unique<abcast::ProcessStack>(
-        cluster.env(p), cfg, &cluster.network()));
-    stacks[p]->abcast().subscribe(
-        [&logs, p](const MessageId& id, BytesView) {
-          logs[p].push_back(id);
-        });
-  }
-  for (ProcessId p = 1; p <= 3; ++p) stacks[p]->start();
+  Cluster cluster(ClusterOptions{}
+                      .with_n(3)
+                      .with_seed(3)
+                      .with_stack(cfg)
+                      .with_model(scenario_model()));
 
-  stacks[2]->abcast().abroadcast(Bytes(200'000, 0xBB));
+  cluster.node(2).abroadcast(Bytes(200'000, 0xBB));
   cluster.run_for(milliseconds(1));
-  const MessageId m1 = stacks[1]->abcast().abroadcast(bytes_of("from p1"));
-  const MessageId m3 = stacks[3]->abcast().abroadcast(bytes_of("from p3"));
+  const MessageId m1 = cluster.node(1).abroadcast("from p1");
+  const MessageId m3 = cluster.node(3).abroadcast("from p3");
   cluster.crash_at(milliseconds(8), 2);
   cluster.run_for(seconds(10));
-
-  const auto delivered = [&logs](ProcessId p, const MessageId& id) {
-    for (const MessageId& d : logs[p])
-      if (d == id) return true;
-    return false;
-  };
 
   Outcome out;
   out.stack = describe(cfg);
   out.correct_msgs_delivered =
-      delivered(1, m1) && delivered(3, m1) && delivered(1, m3) &&
-      delivered(3, m3);
-  if (const auto* ord = stacks[1]->ordering())
+      cluster.delivered(1, m1) && cluster.delivered(3, m1) &&
+      cluster.delivered(1, m3) && cluster.delivered(3, m3);
+  if (const auto* ord = cluster.node(1).stack().ordering())
     out.blocked = ord->blocked_head().has_value();
-  out.delivered_at_p1 = logs[1].size();
+  out.delivered_at_p1 = cluster.log(1).size();
   return out;
 }
 

@@ -12,12 +12,10 @@
 //   $ ./bank_smr
 #include <cstdio>
 #include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "abcast/stack_builder.hpp"
-#include "runtime/sim_cluster.hpp"
+#include "runtime/cluster.hpp"
 
 using namespace ibc;
 
@@ -89,44 +87,43 @@ Bytes make_transfer(const std::string& from, const std::string& to,
 
 int main() {
   constexpr std::uint32_t kN = 5;
-  runtime::SimCluster cluster(kN, net::NetModel::setup1(), /*seed=*/7);
 
-  abcast::StackConfig config;  // indirect CT + RB-flood (the paper's stack)
+  // Indirect CT + RB-flood (the paper's stack, the options default).
+  // Replica 5 dies mid-run; the group keeps going (f=2 tolerated, n=5).
+  Cluster cluster(ClusterOptions{}
+                      .with_n(kN)
+                      .with_seed(7)
+                      .with_model(net::NetModel::setup1())
+                      .with_crash(milliseconds(500), 5));
 
-  std::vector<std::unique_ptr<abcast::ProcessStack>> stacks(1);
   std::vector<Bank> banks(kN + 1);
   const std::vector<std::string> accounts = {"alice", "bob", "carol"};
   for (ProcessId p = 1; p <= kN; ++p) {
     for (const auto& a : accounts) banks[p].seed(a, 100);
-    stacks.push_back(std::make_unique<abcast::ProcessStack>(
-        cluster.env(p), config, &cluster.network()));
-    stacks[p]->abcast().subscribe(
+    cluster.node(p).on_deliver(
         [&banks, p](const MessageId&, BytesView cmd) {
           banks[p].apply(cmd);
         });
   }
-  for (ProcessId p = 1; p <= kN; ++p) stacks[p]->start();
 
   // Each replica issues conflicting transfers over one simulated second;
   // whether a given transfer is applied or rejected (overdraw) depends
   // on the global order — which consensus makes identical everywhere.
   for (ProcessId p = 1; p <= kN; ++p) {
     runtime::Env& env = cluster.env(p);
+    core::AbcastService& abcast = cluster.node(p).abcast();
     for (int i = 0; i < 30; ++i) {
       env.set_timer(milliseconds(env.rng().next_in(0, 1000)),
-                    [&stacks, &accounts, p, i, &env] {
+                    [&abcast, &accounts, p, i, &env] {
                       const auto& from = accounts[(p + i) % 3];
                       const auto& to = accounts[(p + i + 1) % 3];
                       const auto amount =
                           static_cast<std::int64_t>(env.rng().next_in(1, 80));
-                      stacks[p]->abcast().abroadcast(
-                          make_transfer(from, to, amount));
+                      abcast.abroadcast(make_transfer(from, to, amount));
                     });
     }
   }
 
-  // Replica 5 dies mid-run; the group keeps going (f=2 tolerated at n=5).
-  cluster.crash_at(milliseconds(500), 5);
   cluster.run_for(seconds(10));
 
   std::printf("replica states after 150 concurrent transfers "

@@ -3,21 +3,19 @@
 // per process (the Neko property: identical protocol code on simulated
 // and real networks).
 //
+// The wiring is identical to the simulator examples too: the only
+// difference from quickstart.cpp is `.on_tcp()` in the cluster options.
+//
 // Three "users" chat concurrently; one of them is killed mid-
 // conversation. Every surviving member renders the exact same transcript
 // because message order is fixed by indirect consensus, not by arrival.
 //
 //   $ ./chat_tcp
-#include <atomic>
 #include <cstdio>
-#include <memory>
-#include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
-#include "abcast/stack_builder.hpp"
-#include "net/tcp/tcp_transport.hpp"
+#include "runtime/cluster.hpp"
 
 using namespace ibc;
 
@@ -25,36 +23,18 @@ int main() {
   constexpr std::uint32_t kN = 3;
   const char* users[kN + 1] = {"", "ada", "bob", "cyd"};
 
-  net::tcp::TcpCluster cluster(kN, /*seed=*/99);
-
   abcast::StackConfig config;  // indirect CT + RB-flood over heartbeat FD
   config.heartbeat.interval = milliseconds(20);
   config.heartbeat.initial_timeout = milliseconds(200);
 
-  std::vector<std::unique_ptr<abcast::ProcessStack>> stacks(1);
-  std::mutex mu;
-  std::vector<std::vector<std::string>> transcripts(kN + 1);
-  for (ProcessId p = 1; p <= kN; ++p) {
-    stacks.push_back(
-        std::make_unique<abcast::ProcessStack>(cluster.env(p), config));
-    stacks[p]->abcast().subscribe(
-        [&mu, &transcripts, p](const MessageId& id, BytesView payload) {
-          const std::scoped_lock lock(mu);
-          transcripts[p].push_back(
-              std::string(reinterpret_cast<const char*>(payload.data()),
-                          payload.size()) +
-              "   [msg " + to_string(id) + "]");
-        });
-  }
-  cluster.start();
-  for (ProcessId p = 1; p <= kN; ++p)
-    cluster.run_on(p, [&stacks, p] { stacks[p]->start(); });
+  Cluster cluster(ClusterOptions{}
+                      .with_n(kN)
+                      .with_seed(99)
+                      .with_stack(config)
+                      .on_tcp());
 
-  auto say = [&](ProcessId p, std::string text) {
-    cluster.post(p, [&stacks, p, line = std::string(users[p]) + ": " +
-                                       std::move(text)] {
-      stacks[p]->abcast().abroadcast(bytes_of(line));
-    });
+  auto say = [&](ProcessId p, const std::string& text) {
+    cluster.node(p).abroadcast(std::string(users[p]) + ": " + text);
   };
 
   // A burst of interleaved chatter from all three users.
@@ -62,34 +42,40 @@ int main() {
     say(1, "message " + std::to_string(round) + " — hello from ada");
     say(2, "message " + std::to_string(round) + " — bob here");
     say(3, "message " + std::to_string(round) + " — cyd chiming in");
-    std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    cluster.run_for(milliseconds(3));
   }
 
   // cyd's machine dies; the room continues (f = 1 < n/2).
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
-  cluster.kill(3);
+  cluster.run_for(milliseconds(50));
+  cluster.crash(3);
   say(1, "did cyd just drop?");
   say(2, "yep — carrying on without them");
 
-  // Let the survivors settle, then compare transcripts.
-  for (int i = 0; i < 400; ++i) {
-    {
-      const std::scoped_lock lock(mu);
-      if (transcripts[1].size() >= 17 &&
-          transcripts[1].size() == transcripts[2].size())
-        break;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
+  // Let the survivors settle, then stop the reactors and compare.
+  // idle must comfortably exceed the FD timeout: deliveries stall for
+  // ~200 ms while the survivors learn that cyd is gone.
+  cluster.run_until_quiesced(/*idle=*/milliseconds(500),
+                             /*limit=*/seconds(20));
+  cluster.shutdown();
 
-  const std::scoped_lock lock(mu);
+  const auto transcript = [&](ProcessId p) {
+    std::vector<std::string> lines;
+    for (const auto& d : cluster.log(p)) {
+      lines.push_back(std::string(reinterpret_cast<const char*>(
+                                      d.payload.data()),
+                                  d.payload.size()) +
+                      "   [msg " + to_string(d.id) + "]");
+    }
+    return lines;
+  };
+
+  const auto ada = transcript(1);
   std::printf("transcript as rendered by ada (p1):\n");
-  for (const std::string& line : transcripts[1])
-    std::printf("  %s\n", line.c_str());
-  const bool identical = transcripts[1] == transcripts[2];
+  for (const std::string& line : ada) std::printf("  %s\n", line.c_str());
+  const bool identical = ada == transcript(2) && ada.size() >= 17;
   std::printf("\nada and bob see the same transcript: %s\n",
               identical ? "yes" : "NO (bug!)");
   std::printf("(cyd delivered %zu lines before dying)\n",
-              transcripts[3].size());
+              cluster.log(3).size());
   return identical ? 0 : 1;
 }

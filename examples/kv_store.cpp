@@ -15,12 +15,10 @@
 //   $ ./kv_store
 #include <cstdio>
 #include <map>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "abcast/stack_builder.hpp"
-#include "runtime/sim_cluster.hpp"
+#include "runtime/cluster.hpp"
 
 using namespace ibc;
 
@@ -70,23 +68,24 @@ Bytes cas(const std::string& key, const std::string& expected,
 
 int main() {
   constexpr std::uint32_t kN = 3;
-  runtime::SimCluster cluster(kN, net::NetModel::setup1(), /*seed=*/12);
 
   abcast::StackConfig config;
   config.algo = abcast::ConsensusAlgo::kMr;  // indirect MR this time
 
-  std::vector<std::unique_ptr<abcast::ProcessStack>> stacks(1);
+  Cluster cluster(ClusterOptions{}
+                      .with_n(kN)
+                      .with_seed(12)
+                      .with_stack(config)
+                      .with_model(net::NetModel::setup1()));
+
   std::vector<KvStore> ordered(kN + 1);    // state via atomic broadcast
   std::vector<KvStore> unordered(kN + 1);  // control: apply on arrival
   for (ProcessId p = 1; p <= kN; ++p) {
-    stacks.push_back(std::make_unique<abcast::ProcessStack>(
-        cluster.env(p), config, &cluster.network()));
-    stacks[p]->abcast().subscribe(
+    cluster.node(p).on_deliver(
         [&ordered, p](const MessageId&, BytesView cmd) {
           ordered[p].apply(cmd);
         });
   }
-  for (ProcessId p = 1; p <= kN; ++p) stacks[p]->start();
 
   // All three replicas race a CAS on the same lock, concurrently. The
   // "unordered" control models a naive best-effort broadcast: each
@@ -106,7 +105,7 @@ int main() {
 
   // The real thing: the same concurrent commands through abroadcast.
   for (auto& [p, cmd] : commands)
-    stacks[p]->abcast().abroadcast(std::move(cmd));
+    cluster.node(p).abroadcast(std::move(cmd));
   cluster.run_for(seconds(2));
 
   std::printf("replicated KV after 5 conflicting CAS commands:\n\n");

@@ -8,55 +8,47 @@
 //
 //   $ ./quickstart
 #include <cstdio>
-#include <memory>
 #include <string>
-#include <vector>
 
-#include "abcast/stack_builder.hpp"
-#include "runtime/sim_cluster.hpp"
+#include "runtime/cluster.hpp"
 
 using namespace ibc;
 
 int main() {
   constexpr std::uint32_t kN = 3;
 
-  // 1. A simulated LAN (the same protocol code also runs on real TCP —
-  //    see examples/chat_tcp.cpp).
-  runtime::SimCluster cluster(kN, net::NetModel::setup1(), /*seed=*/2024);
+  // One call wires the whole group: a simulated LAN, one protocol stack
+  // per process (defaults: indirect CT consensus + RB-flood), delivery
+  // logs, and the start sequence. Swap `.on_tcp()` into the options and
+  // the same code runs on real sockets — see examples/chat_tcp.cpp.
+  Cluster cluster(ClusterOptions{}
+                      .with_n(kN)
+                      .with_seed(2024)
+                      .with_model(net::NetModel::setup1()));
 
-  // 2. One protocol stack per process: indirect CT consensus + RB-flood.
-  abcast::StackConfig config;  // defaults: kIndirect, kCt, kFloodN2
-  std::vector<std::unique_ptr<abcast::ProcessStack>> stacks(1);
-  std::vector<std::vector<std::string>> logs(kN + 1);
-  for (ProcessId p = 1; p <= kN; ++p) {
-    stacks.push_back(std::make_unique<abcast::ProcessStack>(
-        cluster.env(p), config, &cluster.network()));
-    stacks[p]->abcast().subscribe(
-        [&logs, p](const MessageId& id, BytesView payload) {
-          logs[p].push_back(to_string(id) + " \"" +
-                            std::string(reinterpret_cast<const char*>(
-                                            payload.data()),
-                                        payload.size()) +
-                            "\"");
-        });
-  }
-  for (ProcessId p = 1; p <= kN; ++p) stacks[p]->start();
-
-  // 3. Concurrent broadcasts from every process.
-  stacks[1]->abcast().abroadcast(bytes_of("alpha from p1"));
-  stacks[2]->abcast().abroadcast(bytes_of("bravo from p2"));
-  stacks[3]->abcast().abroadcast(bytes_of("charlie from p3"));
+  // Concurrent broadcasts from every process.
+  cluster.node(1).abroadcast("alpha from p1");
+  cluster.node(2).abroadcast("bravo from p2");
+  cluster.node(3).abroadcast("charlie from p3");
   cluster.run_for(milliseconds(20));
-  stacks[2]->abcast().abroadcast(bytes_of("delta from p2"));
-  cluster.run_for(seconds(1));
+  cluster.node(2).abroadcast("delta from p2");
+  cluster.run_until_quiesced();
 
-  // 4. Every process delivered the same messages in the same order.
+  // Every process delivered the same messages in the same order.
   for (ProcessId p = 1; p <= kN; ++p) {
     std::printf("process p%u delivered:\n", p);
-    for (const std::string& line : logs[p])
-      std::printf("  %s\n", line.c_str());
+    for (const auto& d : cluster.log(p)) {
+      std::printf("  %s \"%s\"\n", to_string(d.id).c_str(),
+                  std::string(reinterpret_cast<const char*>(
+                                  d.payload.data()),
+                              d.payload.size())
+                      .c_str());
+    }
   }
-  const bool identical = logs[1] == logs[2] && logs[2] == logs[3];
+  const bool identical = cluster.prefix_consistent() &&
+                         cluster.log(1).size() == 4 &&
+                         cluster.log(2).size() == 4 &&
+                         cluster.log(3).size() == 4;
   std::printf("\nlogs identical across processes: %s\n",
               identical ? "yes" : "NO (bug!)");
   return identical ? 0 : 1;

@@ -26,9 +26,11 @@ bool is_correct_stack(const StackConfig& config) {
            config.rb != RbKind::kUniform);
 }
 
-ProcessStack::ProcessStack(runtime::Env& env, const StackConfig& config,
-                           net::SimNetwork* sim)
-    : stack_(env) {
+ProcessStack::ProcessStack(runtime::Host& host, ProcessId p,
+                           const StackConfig& config)
+    : stack_(host.env(p)) {
+  runtime::Env& env = stack_.env();
+  net::SimNetwork* sim = host.sim_network();
   // Failure detector.
   switch (config.fd) {
     case FdKind::kHeartbeat:

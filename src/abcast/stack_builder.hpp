@@ -31,6 +31,7 @@
 #include "fd/heartbeat_fd.hpp"
 #include "fd/perfect_fd.hpp"
 #include "net/simnet.hpp"
+#include "runtime/host.hpp"
 #include "runtime/stack.hpp"
 
 namespace ibc::abcast {
@@ -61,11 +62,14 @@ bool is_correct_stack(const StackConfig& config);
 
 class ProcessStack {
  public:
-  /// Builds the stack on `env`. `sim` is required for FdKind::kPerfect
-  /// (the crash oracle lives in the simulated network) and ignored
-  /// otherwise.
-  ProcessStack(runtime::Env& env, const StackConfig& config,
-               net::SimNetwork* sim = nullptr);
+  /// Builds process `p`'s stack on `host.env(p)`. FdKind::kPerfect
+  /// additionally requires the host to expose a simulated network (the
+  /// crash oracle lives there); a precondition failure fires otherwise.
+  ///
+  /// Construction sites live in `src/runtime/` (the `ibc::Cluster`
+  /// facade) — scenario code should wire clusters through `ibc::Cluster`
+  /// rather than building stacks by hand.
+  ProcessStack(runtime::Host& host, ProcessId p, const StackConfig& config);
 
   /// Starts all layers (heartbeats, etc.). Call once, after every
   /// process's stack is constructed.

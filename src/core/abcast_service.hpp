@@ -14,9 +14,20 @@
 //     broadcast it is the folklore FAULTY stack whose Validity breaks
 //     under a crash (§2.2) — kept for the paper's overhead comparison
 //     and the violation demonstration.
+//
+// Delivery subscriptions can be revoked: `subscribe` returns a token for
+// `unsubscribe`, and `subscribe_scoped` returns an RAII `Subscription`
+// handle, so a subscriber whose captures die before the service (the
+// `ibc::Cluster` facade's `on_deliver`, test recorders) can detach
+// instead of dangling. All subscription operations must run on the
+// process's execution context (or while its host is stopped) — the same
+// single-threaded discipline as every other protocol call.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "util/bytes.hpp"
@@ -24,10 +35,113 @@
 
 namespace ibc::core {
 
+namespace detail {
+
+/// Subscriber list shared between a service and its RAII handles. The
+/// service owns it; handles hold weak references, so a handle outliving
+/// the service unsubscribes into nothing instead of dangling.
+struct SubscriberRegistry {
+  using Fn = std::function<void(const MessageId&, BytesView)>;
+  struct Entry {
+    std::uint64_t token = 0;
+    Fn fn;
+  };
+
+  std::vector<Entry> entries;
+  std::uint64_t next_token = 1;
+  int firing_depth = 0;      // >0 while fire() iterates
+  bool pending_erase = false;
+
+  std::uint64_t add(Fn fn) {
+    entries.push_back(Entry{next_token, std::move(fn)});
+    return next_token++;
+  }
+
+  void remove(std::uint64_t token) {
+    for (auto it = entries.begin(); it != entries.end(); ++it) {
+      if (it->token != token) continue;
+      if (firing_depth > 0) {
+        // Unsubscribed from inside a delivery callback: tombstone now,
+        // compact once the iteration unwinds.
+        it->fn = nullptr;
+        pending_erase = true;
+      } else {
+        entries.erase(it);
+      }
+      return;
+    }
+  }
+
+  void fire(const MessageId& id, BytesView payload) {
+    ++firing_depth;
+    // Indexed loop: callbacks may subscribe (append) reentrantly. Each
+    // callback is invoked through a COPY: a reentrant subscribe can
+    // reallocate `entries`, and a reentrant unsubscribe tombstones the
+    // stored function — either would otherwise destroy the closure
+    // mid-execution.
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      if (!entries[i].fn) continue;
+      const Fn fn = entries[i].fn;
+      fn(id, payload);
+    }
+    if (--firing_depth == 0 && pending_erase) {
+      std::erase_if(entries, [](const Entry& e) { return e.fn == nullptr; });
+      pending_erase = false;
+    }
+  }
+};
+
+}  // namespace detail
+
+/// RAII delivery subscription: detaches the callback when destroyed (or
+/// `reset()`). Safe to destroy after the service itself is gone.
+class [[nodiscard]] Subscription {
+ public:
+  Subscription() = default;
+  Subscription(Subscription&& other) noexcept
+      : registry_(std::move(other.registry_)),
+        token_(std::exchange(other.token_, 0)) {}
+  Subscription& operator=(Subscription&& other) noexcept {
+    if (this != &other) {
+      reset();
+      registry_ = std::move(other.registry_);
+      token_ = std::exchange(other.token_, 0);
+    }
+    return *this;
+  }
+  Subscription(const Subscription&) = delete;
+  Subscription& operator=(const Subscription&) = delete;
+  ~Subscription() { reset(); }
+
+  /// Unsubscribes now; idempotent.
+  void reset() {
+    if (token_ != 0) {
+      if (const auto registry = registry_.lock()) registry->remove(token_);
+    }
+    token_ = 0;
+    registry_.reset();
+  }
+
+  /// True while the callback is still registered on a live service.
+  bool active() const { return token_ != 0 && !registry_.expired(); }
+
+ private:
+  friend class AbcastService;
+  Subscription(std::weak_ptr<detail::SubscriberRegistry> registry,
+               std::uint64_t token)
+      : registry_(std::move(registry)), token_(token) {}
+
+  std::weak_ptr<detail::SubscriberRegistry> registry_;
+  std::uint64_t token_ = 0;
+};
+
 class AbcastService {
  public:
   /// (id, payload) — delivery order is identical at all processes.
   using DeliverFn = std::function<void(const MessageId&, BytesView)>;
+
+  /// Identifies one subscription for `unsubscribe`. 0 is never issued.
+  using SubscriberToken = std::uint64_t;
 
   virtual ~AbcastService() = default;
 
@@ -35,15 +149,37 @@ class AbcastService {
   /// the message (unique: this process id + a local sequence number).
   virtual MessageId abroadcast(Bytes payload) = 0;
 
-  void subscribe(DeliverFn fn) { subscribers_.push_back(std::move(fn)); }
+  /// Registers a delivery callback for the lifetime of the service (or
+  /// until `unsubscribe(token)`).
+  SubscriberToken subscribe(DeliverFn fn) {
+    return registry_->add(std::move(fn));
+  }
+
+  /// Removes a subscription; no-op on an already-removed token. Legal
+  /// from inside a delivery callback.
+  void unsubscribe(SubscriberToken token) { registry_->remove(token); }
+
+  /// Registers a delivery callback owned by the returned RAII handle.
+  Subscription subscribe_scoped(DeliverFn fn) {
+    return Subscription(registry_, registry_->add(std::move(fn)));
+  }
+
+  /// Live subscriptions (diagnostics/tests).
+  std::size_t subscriber_count() const {
+    std::size_t live = 0;
+    for (const auto& e : registry_->entries)
+      if (e.fn) ++live;
+    return live;
+  }
 
  protected:
   void fire_deliver(const MessageId& id, BytesView payload) const {
-    for (const DeliverFn& fn : subscribers_) fn(id, payload);
+    registry_->fire(id, payload);
   }
 
  private:
-  std::vector<DeliverFn> subscribers_;
+  std::shared_ptr<detail::SubscriberRegistry> registry_ =
+      std::make_shared<detail::SubscriberRegistry>();
 };
 
 }  // namespace ibc::core

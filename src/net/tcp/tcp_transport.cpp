@@ -47,6 +47,8 @@ void TcpEnv::wake() {
 
 void TcpEnv::send(ProcessId dst, Bytes msg) {
   IBC_REQUIRE(dst >= 1 && dst <= n_);
+  if (messages_ctr_ != nullptr)
+    messages_ctr_->fetch_add(1, std::memory_order_relaxed);
   if (dst == self_) {
     // Loopback: dispatch asynchronously on the reactor, like everyone
     // else's messages.
@@ -113,6 +115,13 @@ int TcpEnv::drain_inputs_and_timeout() {
   for (auto& [dst, msg] : pending_sends_) {
     Peer& peer = peers_[dst];
     if (!peer.open) continue;  // peer gone: reliable-channel-until-crash
+    // Counted here — frames actually queued on a socket — so sends to
+    // dead peers don't inflate the wire total. Payload plus the u32
+    // length prefix.
+    if (wire_bytes_ctr_ != nullptr) {
+      wire_bytes_ctr_->fetch_add(msg.size() + sizeof(std::uint32_t),
+                                 std::memory_order_relaxed);
+    }
     encode_frame(msg, peer.outbuf);
   }
   pending_sends_.clear();
@@ -198,6 +207,7 @@ void TcpEnv::handle_writable(ProcessId peer_id) {
 }
 
 void TcpEnv::reactor_loop(const std::stop_token& st) {
+  reactor_tid_.store(std::this_thread::get_id());
   while (!st.stop_requested()) {
     const int timeout_ms = drain_inputs_and_timeout();
 
@@ -229,16 +239,23 @@ void TcpEnv::reactor_loop(const std::stop_token& st) {
     fire_due_timers();
     run_posted_tasks();
   }
+  // Cleared on exit so a recycled OS thread id can't alias a dead
+  // reactor in run_on's self-thread check.
+  reactor_tid_.store(std::thread::id{});
 }
 
-TcpCluster::TcpCluster(std::uint32_t n, std::uint64_t seed) {
+TcpCluster::TcpCluster(std::uint32_t n, std::uint64_t seed)
+    : epoch_ns_(steady_ns()),
+      kill_started_(n + 1, false),
+      killed_(n + 1, false) {
   IBC_REQUIRE(n >= 1);
-  const TimePoint epoch = steady_ns();
   const Rng root(seed);
   envs_.push_back(nullptr);  // 1-based
   for (ProcessId p = 1; p <= n; ++p) {
     envs_.push_back(std::make_unique<TcpEnv>(
-        p, n, root.fork("tcp-process", p), epoch));
+        p, n, root.fork("tcp-process", p), epoch_ns_));
+    envs_[p]->messages_ctr_ = &messages_sent_;
+    envs_[p]->wire_bytes_ctr_ = &wire_bytes_sent_;
   }
 
   // Full mesh: p dials every q > p; the hello frame identifies the
@@ -272,12 +289,30 @@ TcpCluster::TcpCluster(std::uint32_t n, std::uint64_t seed) {
   }
 }
 
-TcpCluster::~TcpCluster() {
-  for (ProcessId p = 1; p <= n(); ++p) envs_[p]->request_stop();
+TcpCluster::~TcpCluster() { shutdown(); }
+
+runtime::Env& TcpCluster::env(ProcessId p) {
+  IBC_REQUIRE(p >= 1 && p <= n());
+  return *envs_[p];
 }
+
+TimePoint TcpCluster::now() const { return steady_ns() - epoch_ns_; }
 
 void TcpCluster::start() {
   for (ProcessId p = 1; p <= n(); ++p) envs_[p]->start_thread();
+}
+
+void TcpCluster::shutdown() {
+  // Joining the watchdogs first guarantees no concurrent kill() below.
+  watchdogs_.clear();
+  for (ProcessId p = 1; p <= n(); ++p) envs_[p]->request_stop();
+  const std::scoped_lock lock(state_mu_);
+  shut_down_ = true;
+}
+
+std::size_t TcpCluster::run_for(Duration d) {
+  if (d > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+  return 0;
 }
 
 void TcpCluster::post(ProcessId p, std::function<void()> fn) {
@@ -285,21 +320,106 @@ void TcpCluster::post(ProcessId p, std::function<void()> fn) {
 }
 
 void TcpCluster::run_on(ProcessId p, std::function<void()> fn) {
-  std::mutex done_mu;
-  std::condition_variable done_cv;
-  bool done = false;
-  envs_[p]->defer([&fn, &done_mu, &done_cv, &done] {
+  IBC_REQUIRE(p >= 1 && p <= n());
+  if (envs_[p]->reactor_tid_.load() == std::this_thread::get_id()) {
+    // Already on p's reactor (e.g. abroadcast from inside a delivery
+    // callback): deferring and blocking would deadlock; run directly.
     fn();
-    {
-      const std::scoped_lock lock(done_mu);
-      done = true;
-    }
-    done_cv.notify_one();
+    return;
+  }
+  bool run_inline = false;
+  {
+    const std::scoped_lock lock(state_mu_);
+    if (killed_[p]) return;
+    run_inline = shut_down_;
+  }
+  if (run_inline) {
+    // Reactors are joined: inline execution is race-free.
+    fn();
+    return;
+  }
+  struct DoneGate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool abandoned = false;
+  };
+  // Shared: if p dies before running the task, the closure (and gate)
+  // must outlive this frame. The reactor runs `fn` while holding
+  // gate->mu, so the abandon decision below is serialized against the
+  // task: once we mark it abandoned, `fn` (whose captures may reference
+  // this frame) can no longer start.
+  auto gate = std::make_shared<DoneGate>();
+  envs_[p]->defer([fn = std::move(fn), gate] {
+    std::unique_lock lock(gate->mu);
+    if (gate->abandoned) return;
+    fn();
+    gate->done = true;
+    lock.unlock();
+    gate->cv.notify_one();
   });
-  std::unique_lock lock(done_mu);
-  done_cv.wait(lock, [&done] { return done; });
+  std::unique_lock lock(gate->mu);
+  while (!gate->done) {
+    // Re-check liveness periodically: a concurrent kill(p) or
+    // shutdown() stops the reactor and the task would otherwise never
+    // complete.
+    gate->cv.wait_for(lock, std::chrono::milliseconds(20));
+    if (gate->done) break;
+    const std::scoped_lock state_lock(state_mu_);
+    if (killed_[p] || shut_down_) {
+      gate->abandoned = true;
+      return;
+    }
+  }
 }
 
-void TcpCluster::kill(ProcessId p) { envs_[p]->request_stop(); }
+void TcpCluster::kill(ProcessId p) {
+  IBC_REQUIRE(p >= 1 && p <= n());
+  {
+    const std::scoped_lock lock(state_mu_);
+    if (kill_started_[p]) return;  // serializes concurrent request_stop
+    kill_started_[p] = true;
+  }
+  envs_[p]->request_stop();
+  // killed_ (what crashed() reports) flips only once the reactor is
+  // joined, so a crashed-observed process is guaranteed to execute no
+  // further code — direct reads of its protocol state are race-free.
+  const std::scoped_lock lock(state_mu_);
+  killed_[p] = true;
+}
+
+void TcpCluster::crash_at(TimePoint t, ProcessId p) {
+  IBC_REQUIRE(p >= 1 && p <= n());
+  watchdogs_.emplace_back([this, t, p](const std::stop_token& st) {
+    std::mutex mu;
+    std::condition_variable_any cv;
+    std::unique_lock lock(mu);
+    const Duration delay = t - now();
+    if (delay > 0) {
+      cv.wait_for(lock, st, std::chrono::nanoseconds(delay),
+                  [] { return false; });
+    }
+    if (!st.stop_requested()) kill(p);
+  });
+}
+
+bool TcpCluster::crashed(ProcessId p) const {
+  const std::scoped_lock lock(state_mu_);
+  return killed_[p];
+}
+
+std::uint32_t TcpCluster::alive_count() const {
+  const std::scoped_lock lock(state_mu_);
+  std::uint32_t alive = 0;
+  for (ProcessId p = 1; p <= n(); ++p)
+    if (!killed_[p]) ++alive;
+  return alive;
+}
+
+runtime::HostCounters TcpCluster::counters() const {
+  return runtime::HostCounters{
+      messages_sent_.load(std::memory_order_relaxed),
+      wire_bytes_sent_.load(std::memory_order_relaxed)};
+}
 
 }  // namespace ibc::net::tcp

@@ -23,6 +23,7 @@
 //   ~TcpCluster                     // stops and joins all reactors
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -36,6 +37,7 @@
 #include "net/tcp/framing.hpp"
 #include "net/tcp/socket.hpp"
 #include "runtime/env.hpp"
+#include "runtime/host.hpp"
 
 namespace ibc::net::tcp {
 
@@ -112,40 +114,93 @@ class TcpEnv final : public runtime::Env {
 
   std::uint64_t next_timer_id_ = 1;
   std::uint64_t next_timer_seq_ = 0;
+
+  // Cluster-wide transport counters (owned by TcpCluster).
+  std::atomic<std::uint64_t>* messages_ctr_ = nullptr;
+  std::atomic<std::uint64_t>* wire_bytes_ctr_ = nullptr;
+
+  // The reactor's thread id while the loop runs (default id otherwise).
+  // Read by TcpCluster::run_on without touching thread_, which a
+  // concurrent kill() may be joining.
+  std::atomic<std::thread::id> reactor_tid_{};
+
   std::jthread thread_;  // joins on destruction (CP.25)
 };
 
-class TcpCluster {
+class TcpCluster final : public runtime::Host {
  public:
   /// Establishes the full loopback mesh; reactors stay idle until
   /// start().
   explicit TcpCluster(std::uint32_t n, std::uint64_t seed = 1);
 
   /// Stops and joins every reactor.
-  ~TcpCluster();
+  ~TcpCluster() override;
 
   TcpCluster(const TcpCluster&) = delete;
   TcpCluster& operator=(const TcpCluster&) = delete;
 
-  std::uint32_t n() const { return static_cast<std::uint32_t>(envs_.size() - 1); }
-  runtime::Env& env(ProcessId p) { return *envs_[p]; }
+  std::uint32_t n() const override {
+    return static_cast<std::uint32_t>(envs_.size() - 1);
+  }
+  runtime::Env& env(ProcessId p) override;
+
+  runtime::HostKind kind() const override {
+    return runtime::HostKind::kTcp;
+  }
+
+  /// Nanoseconds since the cluster was constructed (all processes share
+  /// the epoch).
+  TimePoint now() const override;
 
   /// Launches the reactor threads. Build the protocol stacks (which call
   /// env().set_receive) before this.
-  void start();
+  void start() override;
+
+  /// Cancels pending scheduled crashes, then stops and joins every
+  /// reactor. After this the stacks' state can be read without races.
+  /// Idempotent.
+  void shutdown() override;
+
+  /// Waits `d` of wall-clock time while the reactors make progress.
+  std::size_t run_for(Duration d) override;
 
   /// Enqueues `fn` on p's reactor thread (fire and forget).
   void post(ProcessId p, std::function<void()> fn);
 
   /// Runs `fn` on p's reactor thread and blocks until it completed.
-  void run_on(ProcessId p, std::function<void()> fn);
+  /// Returns without running `fn` if p is (or crashes while we wait)
+  /// dead.
+  void run_on(ProcessId p, std::function<void()> fn) override;
 
   /// Simulated crash: stops p's reactor and closes its sockets; peers
   /// observe the connection reset and the failure detector takes over.
   void kill(ProcessId p);
 
+  void crash(ProcessId p) override { kill(p); }
+
+  /// Schedules a kill at absolute host time `t` on a watchdog thread.
+  void crash_at(TimePoint t, ProcessId p) override;
+
+  bool crashed(ProcessId p) const override;
+  std::uint32_t alive_count() const override;
+
+  runtime::HostCounters counters() const override;
+
  private:
+  TimePoint epoch_ns_ = 0;
   std::vector<std::unique_ptr<TcpEnv>> envs_;  // [1..n]
+
+  mutable std::mutex state_mu_;    // guards the three members below
+  std::vector<bool> kill_started_;  // [1..n] kill() begun (idempotence)
+  std::vector<bool> killed_;        // [1..n] reactor joined: truly dead
+  bool shut_down_ = false;
+
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> wire_bytes_sent_{0};
+
+  // Pending crash_at watchdogs. Declared last: their jthread destructors
+  // request stop and join before anything else is torn down.
+  std::vector<std::jthread> watchdogs_;
 };
 
 }  // namespace ibc::net::tcp

@@ -1,0 +1,187 @@
+#include "runtime/cluster.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/tcp/tcp_transport.hpp"
+#include "runtime/sim_cluster.hpp"
+#include "util/assert.hpp"
+
+namespace ibc {
+
+namespace {
+
+std::unique_ptr<runtime::Host> make_host(const ClusterOptions& options) {
+  IBC_REQUIRE_MSG(options.n >= 1, "a cluster needs at least one process");
+  switch (options.host) {
+    case runtime::HostKind::kSim:
+      return std::make_unique<runtime::SimCluster>(options.n, options.model,
+                                                   options.seed);
+    case runtime::HostKind::kTcp:
+      return std::make_unique<net::tcp::TcpCluster>(options.n,
+                                                    options.seed);
+  }
+  IBC_UNREACHABLE("unknown HostKind");
+}
+
+}  // namespace
+
+Cluster::Cluster(const ClusterOptions& options)
+    : host_(make_host(options)) {
+  logs_.resize(options.n + 1);
+  nodes_.reserve(options.n);
+  for (ProcessId p = 1; p <= options.n; ++p) {
+    Node node(this, p,
+              std::make_unique<abcast::ProcessStack>(*host_, p,
+                                                     options.stack));
+    // Built-in delivery recorder. Subscribed before the host starts, so
+    // no callback can race the registration even on TCP.
+    if (options.record_deliveries) {
+      node.stack_->abcast().subscribe(
+          [this, p](const MessageId& id, BytesView payload) {
+            const TimePoint at = host_->now();
+            const std::scoped_lock lock(log_mu_);
+            logs_[p].push_back(Delivery{id, to_bytes(payload), at});
+          });
+    }
+    nodes_.push_back(std::move(node));
+  }
+
+  host_->start();
+  for (ProcessId p = 1; p <= options.n; ++p) {
+    host_->run_on(p, [this, p] { nodes_[p - 1].stack_->start(); });
+  }
+  for (const ClusterCrash& crash : options.crashes) {
+    host_->crash_at(crash.at, crash.process);
+  }
+}
+
+Cluster::~Cluster() { shutdown(); }
+
+void Cluster::check_pid(ProcessId p) const {
+  IBC_REQUIRE_MSG(p >= 1 && p <= host_->n(),
+                  "process ids are 1-based: 1 <= p <= n");
+}
+
+Cluster::Node& Cluster::node(ProcessId p) {
+  check_pid(p);
+  return nodes_[p - 1];
+}
+
+Duration Cluster::run_until_quiesced(Duration idle, Duration limit) {
+  IBC_REQUIRE(idle > 0 && limit > 0);
+  const Duration slice = std::max<Duration>(idle / 4, kMillisecond);
+  Duration elapsed = 0;
+  Duration quiet = 0;
+  std::size_t last = total_deliveries();
+  while (elapsed < limit && quiet < idle) {
+    host_->run_for(slice);
+    elapsed += slice;
+    const std::size_t current = total_deliveries();
+    if (current != last) {
+      last = current;
+      quiet = 0;
+    } else {
+      quiet += slice;
+    }
+  }
+  return elapsed;
+}
+
+void Cluster::shutdown() { host_->shutdown(); }
+
+std::vector<Cluster::Delivery> Cluster::log(ProcessId p) const {
+  check_pid(p);
+  const std::scoped_lock lock(log_mu_);
+  return logs_[p];
+}
+
+bool Cluster::delivered(ProcessId p, const MessageId& id) const {
+  check_pid(p);
+  const std::scoped_lock lock(log_mu_);
+  return std::any_of(logs_[p].begin(), logs_[p].end(),
+                     [&id](const Delivery& d) { return d.id == id; });
+}
+
+bool Cluster::prefix_consistent() const {
+  const std::scoped_lock lock(log_mu_);
+  for (std::size_t a = 1; a < logs_.size(); ++a) {
+    for (std::size_t b = a + 1; b < logs_.size(); ++b) {
+      const auto& la = logs_[a];
+      const auto& lb = logs_[b];
+      const std::size_t common = std::min(la.size(), lb.size());
+      for (std::size_t i = 0; i < common; ++i) {
+        if (!(la[i].id == lb[i].id)) return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::size_t Cluster::total_deliveries() const {
+  const std::scoped_lock lock(log_mu_);
+  std::size_t total = 0;
+  for (const auto& log : logs_) total += log.size();
+  return total;
+}
+
+ClusterStats Cluster::stats() {
+  ClusterStats stats;
+  for (ProcessId p = 1; p <= n(); ++p) {
+    consensus::Consensus::Stats engine{};
+    bool read = false;
+    if (!host_->crashed(p)) {
+      host_->run_on(p, [this, p, &engine, &read] {
+        engine = nodes_[p - 1].stack_->consensus_stats();
+        read = true;
+      });
+    }
+    if (!read && host_->crashed(p)) {
+      // Crashed (run_on may have been abandoned by a concurrent crash):
+      // a crashed-observed process executes no further code, so the
+      // direct read is race-free.
+      engine = nodes_[p - 1].stack_->consensus_stats();
+    }
+    stats.consensus_rounds += engine.rounds_started;
+    stats.proposals_refused += engine.proposals_refused;
+  }
+  const runtime::HostCounters wire = host_->counters();
+  stats.messages_sent = wire.messages_sent;
+  stats.wire_bytes_sent = wire.wire_bytes_sent;
+  {
+    const std::scoped_lock lock(log_mu_);
+    stats.deliveries.resize(logs_.size());
+    for (std::size_t p = 1; p < logs_.size(); ++p) {
+      stats.deliveries[p] = logs_[p].size();
+      stats.total_deliveries += logs_[p].size();
+    }
+  }
+  stats.prefix_consistent = prefix_consistent();
+  return stats;
+}
+
+MessageId Cluster::Node::abroadcast(Bytes payload) {
+  MessageId id{};
+  cluster_->host_->run_on(
+      id_, [this, &id, payload = std::move(payload)]() mutable {
+        id = stack_->abcast().abroadcast(std::move(payload));
+      });
+  return id;
+}
+
+void Cluster::Node::on_deliver(DeliverFn fn) {
+  // Hop onto the process's execution context: the subscriber list is
+  // touched only by the thread that also fires deliveries.
+  cluster_->host_->run_on(id_, [this, fn = std::move(fn)]() mutable {
+    subscriptions_.push_back(
+        stack_->abcast().subscribe_scoped(std::move(fn)));
+  });
+}
+
+std::vector<Cluster::Delivery> Cluster::Node::log() const {
+  return cluster_->log(id_);
+}
+
+runtime::Env& Cluster::Node::env() { return cluster_->host_->env(id_); }
+
+}  // namespace ibc

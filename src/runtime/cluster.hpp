@@ -1,0 +1,236 @@
+// ibc::Cluster — one wiring API for every host.
+//
+// The facade that turns "construct a host, hand-build n ProcessStacks
+// with a dummy slot 0, subscribe, start each" into one call:
+//
+//   ibc::Cluster cluster(ibc::ClusterOptions{}
+//                            .with_n(3)
+//                            .with_seed(2024)
+//                            .with_stack(config));   // simulated by default
+//   cluster.node(1).abroadcast(bytes_of("hello"));
+//   cluster.run_until_quiesced();
+//   assert(cluster.prefix_consistent());
+//
+// Swap `.on_tcp()` into the options and the identical scenario runs on
+// loopback TCP sockets — the Neko property, now at the wiring layer too.
+// Every A-delivery is recorded per process (id, payload, host time), so
+// total-order checks and throughput counts come built in.
+//
+// Threading: on the simulated host everything is single-threaded. On the
+// TCP host, `abroadcast` / `on_deliver` hop onto the target process's
+// reactor thread, delivery logs are mutex-guarded, and `stats()` /
+// destruction quiesce before touching protocol state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+#include "abcast/stack_builder.hpp"
+#include "core/abcast_service.hpp"
+#include "net/netmodel.hpp"
+#include "runtime/host.hpp"
+#include "util/bytes.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace ibc {
+
+/// One scheduled crash: process `process` dies at absolute host time
+/// `at`.
+struct ClusterCrash {
+  TimePoint at = 0;
+  ProcessId process = kInvalidProcess;
+};
+
+/// Everything needed to wire a cluster, with fluent setters so call
+/// sites read as one expression. Defaults: 3 processes, seed 1, the
+/// paper's stack (indirect CT + RB-flood), simulated fast-test network.
+struct ClusterOptions {
+  std::uint32_t n = 3;
+  std::uint64_t seed = 1;
+  abcast::StackConfig stack = {};
+  runtime::HostKind host = runtime::HostKind::kSim;
+  net::NetModel model = net::NetModel::fast_test();  // kSim only
+  std::vector<ClusterCrash> crashes;
+  /// Record every A-delivery (id, payload, time) in the cluster's
+  /// per-process logs. On by default — it powers `log`, `delivered`,
+  /// `prefix_consistent` and `run_until_quiesced`. Turn it off for
+  /// measurement runs that keep their own records (the experiment
+  /// driver does): recording copies every payload and, on TCP,
+  /// serializes deliveries on one mutex.
+  bool record_deliveries = true;
+
+  ClusterOptions& with_n(std::uint32_t value) {
+    n = value;
+    return *this;
+  }
+  ClusterOptions& with_seed(std::uint64_t value) {
+    seed = value;
+    return *this;
+  }
+  ClusterOptions& with_stack(const abcast::StackConfig& config) {
+    stack = config;
+    return *this;
+  }
+  /// Sets the simulated network model (only the kSim host reads it;
+  /// host selection is with_host/on_tcp alone, so option order never
+  /// changes the transport).
+  ClusterOptions& with_model(const net::NetModel& m) {
+    model = m;
+    return *this;
+  }
+  ClusterOptions& without_delivery_log() {
+    record_deliveries = false;
+    return *this;
+  }
+  ClusterOptions& with_host(runtime::HostKind kind) {
+    host = kind;
+    return *this;
+  }
+  /// Selects the real-socket host (loopback TCP, one reactor thread per
+  /// process). The network model is ignored — real wires cost what they
+  /// cost.
+  ClusterOptions& on_tcp() { return with_host(runtime::HostKind::kTcp); }
+  ClusterOptions& with_crash(TimePoint at, ProcessId process) {
+    crashes.push_back(ClusterCrash{at, process});
+    return *this;
+  }
+};
+
+/// Aggregated run statistics (see Cluster::stats()).
+struct ClusterStats {
+  std::uint64_t consensus_rounds = 0;    // summed over processes
+  std::uint64_t proposals_refused = 0;   // nack/⊥ caused by rcv
+  std::uint64_t messages_sent = 0;       // transport sends, incl. self
+  std::uint64_t wire_bytes_sent = 0;     // incl. framing, excl. loopback
+  std::size_t total_deliveries = 0;      // A-deliveries, all processes
+  std::vector<std::size_t> deliveries;   // [1..n]; [0] unused
+  bool prefix_consistent = false;        // Uniform Total Order held
+};
+
+class Cluster {
+ public:
+  /// One recorded A-delivery.
+  struct Delivery {
+    MessageId id;
+    Bytes payload;
+    TimePoint at = 0;
+  };
+
+  using DeliverFn = core::AbcastService::DeliverFn;
+
+  class Node;
+
+  /// Builds the host, all n protocol stacks, the built-in delivery
+  /// recorder, starts every process, and arms the crash schedule.
+  explicit Cluster(const ClusterOptions& options);
+
+  /// Quiesces the host (joins TCP reactors), then tears everything down.
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  std::uint32_t n() const { return host_->n(); }
+  runtime::HostKind host_kind() const { return host_->kind(); }
+  runtime::Host& host() { return *host_; }
+  runtime::Env& env(ProcessId p) { return host_->env(p); }
+  TimePoint now() const { return host_->now(); }
+
+  /// Process handle. Ids are 1-based as in the paper; 0 and > n fail the
+  /// precondition check loudly instead of indexing a dummy slot.
+  Node& node(ProcessId p);
+
+  /// Crashes `p` now / at absolute host time `t` (on either host).
+  void crash(ProcessId p) { host_->crash(p); }
+  void crash_at(TimePoint t, ProcessId p) { host_->crash_at(t, p); }
+
+  /// Lets the cluster run for `d` of host time.
+  std::size_t run_for(Duration d) { return host_->run_for(d); }
+
+  /// Runs until no process A-delivers anything for `idle` of host time
+  /// (or `limit` elapses). Returns the host time consumed. Works on both
+  /// hosts — unlike draining an event queue, which heartbeats keep
+  /// non-empty forever.
+  Duration run_until_quiesced(Duration idle = milliseconds(100),
+                              Duration limit = seconds(60));
+
+  /// Stops execution so protocol state can be inspected race-free
+  /// (no-op on the simulator, joins reactors on TCP). Idempotent; the
+  /// destructor calls it.
+  void shutdown();
+
+  /// Snapshot of p's delivery log, in delivery order.
+  std::vector<Delivery> log(ProcessId p) const;
+
+  /// True iff p delivered `id`.
+  bool delivered(ProcessId p, const MessageId& id) const;
+
+  /// True iff every pair of delivery logs is prefix-consistent (Uniform
+  /// Total Order).
+  bool prefix_consistent() const;
+
+  std::size_t total_deliveries() const;
+
+  /// Aggregated counters + the built-in total-order verdict. On the TCP
+  /// host, consensus counters are read on each live process's reactor
+  /// thread, so this is safe while the cluster runs. With
+  /// `without_delivery_log()` the delivery-derived fields are empty and
+  /// `prefix_consistent` is vacuously true.
+  ClusterStats stats();
+
+ private:
+  void check_pid(ProcessId p) const;
+
+  std::unique_ptr<runtime::Host> host_;
+  std::vector<Node> nodes_;  // [0..n-1] holds p = 1..n
+
+  mutable std::mutex log_mu_;
+  std::vector<std::vector<Delivery>> logs_;  // [1..n]; [0] unused
+};
+
+class Cluster::Node {
+ public:
+  Node(Node&&) = default;
+  Node& operator=(Node&&) = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  ProcessId id() const { return id_; }
+
+  /// Atomically broadcasts from this process. Runs on the process's
+  /// execution context (blocking until accepted on TCP); returns the
+  /// assigned id, or an invalid id if the process has crashed.
+  MessageId abroadcast(Bytes payload);
+  MessageId abroadcast(std::string_view payload) {
+    return abroadcast(bytes_of(payload));
+  }
+
+  /// Registers a delivery callback whose lifetime the cluster owns (it
+  /// is detached before the stacks die — no dangling captures). The
+  /// callback runs on this process's execution context.
+  void on_deliver(DeliverFn fn);
+
+  /// Snapshot of this process's delivery log.
+  std::vector<Delivery> log() const;
+
+  abcast::ProcessStack& stack() { return *stack_; }
+  core::AbcastService& abcast() { return stack_->abcast(); }
+  runtime::Env& env();
+
+ private:
+  friend class Cluster;
+  Node(Cluster* cluster, ProcessId id,
+       std::unique_ptr<abcast::ProcessStack> stack)
+      : cluster_(cluster), id_(id), stack_(std::move(stack)) {}
+
+  Cluster* cluster_;
+  ProcessId id_;
+  std::unique_ptr<abcast::ProcessStack> stack_;
+  std::vector<core::Subscription> subscriptions_;
+};
+
+}  // namespace ibc

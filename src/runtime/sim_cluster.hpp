@@ -8,6 +8,7 @@
 #include "net/netmodel.hpp"
 #include "net/simnet.hpp"
 #include "runtime/env.hpp"
+#include "runtime/host.hpp"
 #include "sim/scheduler.hpp"
 
 namespace ibc::runtime {
@@ -45,24 +46,40 @@ class SimEnv final : public Env {
 };
 
 /// A complete simulated group: scheduler, network, and one SimEnv per
-/// process. Protocol stacks are built by the caller on top of `env(p)`.
-class SimCluster {
+/// process. Implements `runtime::Host`, so scenario code (the
+/// `ibc::Cluster` facade, the experiment driver) drives it exactly like
+/// the TCP host.
+class SimCluster final : public Host {
  public:
   /// `seed` drives every random stream in the run (network jitter,
   /// per-process RNGs); same (n, model, seed) => identical execution.
   SimCluster(std::uint32_t n, const net::NetModel& model,
              std::uint64_t seed);
 
-  std::uint32_t n() const { return net_.n(); }
+  std::uint32_t n() const override { return net_.n(); }
   sim::Scheduler& scheduler() { return sched_; }
   net::SimNetwork& network() { return net_; }
-  Env& env(ProcessId p);
+  Env& env(ProcessId p) override;
 
-  /// Crashes `p` at absolute simulated time `t`.
-  void crash_at(TimePoint t, ProcessId p) { net_.crash_at(t, p); }
+  HostKind kind() const override { return HostKind::kSim; }
+  void start() override {}     // the scheduler needs no warm-up
+  void shutdown() override {}  // ... and no teardown
 
-  /// Runs the simulation for `d` of simulated time from now.
-  std::size_t run_for(Duration d) {
+  /// Executes `fn` inline (the simulation is single-threaded); skipped if
+  /// `p` already crashed.
+  void run_on(ProcessId p, std::function<void()> fn) override {
+    if (!net_.crashed(p)) fn();
+  }
+
+  /// Crashes `p` now / at absolute simulated time `t`.
+  void crash(ProcessId p) override { net_.crash(p); }
+  void crash_at(TimePoint t, ProcessId p) override { net_.crash_at(t, p); }
+  bool crashed(ProcessId p) const override { return net_.crashed(p); }
+  std::uint32_t alive_count() const override { return net_.alive_count(); }
+
+  /// Runs the simulation for `d` of simulated time from now; returns the
+  /// number of events processed.
+  std::size_t run_for(Duration d) override {
     return sched_.run_until(sched_.now() + d);
   }
 
@@ -72,7 +89,14 @@ class SimCluster {
     return sched_.run_all(max_events);
   }
 
-  TimePoint now() const { return sched_.now(); }
+  TimePoint now() const override { return sched_.now(); }
+
+  HostCounters counters() const override {
+    return HostCounters{net_.counters().messages_sent,
+                        net_.counters().wire_bytes_sent};
+  }
+
+  net::SimNetwork* sim_network() override { return &net_; }
 
  private:
   sim::Scheduler sched_;

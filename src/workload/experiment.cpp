@@ -1,8 +1,9 @@
 #include "workload/experiment.hpp"
 
 #include <memory>
+#include <mutex>
 
-#include "runtime/sim_cluster.hpp"
+#include "runtime/cluster.hpp"
 #include "util/assert.hpp"
 #include "workload/latency.hpp"
 
@@ -11,14 +12,18 @@ namespace ibc::workload {
 namespace {
 
 /// Per-process Poisson source: schedules the next abroadcast through the
-/// process's own Env, so a crashed process stops generating.
+/// process's own Env, so a crashed process stops generating. The
+/// recorder is shared across processes, hence the mutex (uncontended on
+/// the single-threaded simulator, required on TCP reactors).
 class Source {
  public:
   Source(runtime::Env& env, core::AbcastService& ab, LatencyRecorder& rec,
-         double rate_per_sec, std::size_t payload_bytes, TimePoint stop_at)
+         std::mutex& rec_mu, double rate_per_sec, std::size_t payload_bytes,
+         TimePoint stop_at)
       : env_(env),
         abcast_(ab),
         recorder_(rec),
+        rec_mu_(rec_mu),
         mean_gap_ns_(1e9 / rate_per_sec),
         payload_(payload_bytes,
                  static_cast<std::uint8_t>(0xA0 + env.self() % 16)),
@@ -34,7 +39,10 @@ class Source {
     if (at >= stop_at_) return;
     env_.set_timer(at - env_.now(), [this] {
       const MessageId id = abcast_.abroadcast(payload_);
-      recorder_.on_broadcast(id, env_.now());
+      {
+        const std::scoped_lock lock(rec_mu_);
+        recorder_.on_broadcast(id, env_.now());
+      }
       schedule_next();
     });
   }
@@ -42,6 +50,7 @@ class Source {
   runtime::Env& env_;
   core::AbcastService& abcast_;
   LatencyRecorder& recorder_;
+  std::mutex& rec_mu_;
   double mean_gap_ns_;
   Bytes payload_;
   TimePoint stop_at_;
@@ -53,51 +62,62 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   IBC_REQUIRE(config.n >= 1);
   IBC_REQUIRE(config.throughput_msgs_per_sec > 0);
 
-  runtime::SimCluster cluster(config.n, config.model, config.seed);
+  // The driver keeps its own records (LatencyRecorder), so the facade's
+  // payload-copying delivery log stays off — it would distort the very
+  // latencies being measured.
+  ClusterOptions options = ClusterOptions{}
+                               .with_n(config.n)
+                               .with_seed(config.seed)
+                               .with_stack(config.stack)
+                               .with_model(config.model)
+                               .with_host(config.host)
+                               .without_delivery_log();
+  for (const CrashEvent& c : config.crashes)
+    options.with_crash(c.at, c.process);
+
+  Cluster cluster(options);
 
   const TimePoint measure_from = config.warmup;
   const TimePoint measure_to = config.warmup + config.measure;
   const TimePoint run_end = measure_to + config.drain;
 
   LatencyRecorder recorder(measure_from, measure_to, config.n);
+  std::mutex rec_mu;
 
-  std::vector<std::unique_ptr<abcast::ProcessStack>> stacks;
   std::vector<std::unique_ptr<Source>> sources;
-  stacks.reserve(config.n + 1);
   sources.reserve(config.n + 1);
-  stacks.push_back(nullptr);   // 1-based
-  sources.push_back(nullptr);
+  sources.push_back(nullptr);  // 1-based
 
   const double per_process_rate =
       config.throughput_msgs_per_sec / config.n;
 
   for (ProcessId p = 1; p <= config.n; ++p) {
-    auto stack = std::make_unique<abcast::ProcessStack>(
-        cluster.env(p), config.stack, &cluster.network());
-    stack->abcast().subscribe(
-        [&recorder, p, &cluster](const MessageId& id, BytesView) {
-          recorder.on_delivery(id, p, cluster.now());
-        });
-    auto source = std::make_unique<Source>(
-        cluster.env(p), stack->abcast(), recorder, per_process_rate,
-        config.payload_bytes, measure_to);
-    stacks.push_back(std::move(stack));
-    sources.push_back(std::move(source));
+    Cluster::Node& node = cluster.node(p);
+    node.on_deliver([&recorder, &rec_mu, &cluster, p](const MessageId& id,
+                                                      BytesView) {
+      const TimePoint at = cluster.now();
+      const std::scoped_lock lock(rec_mu);
+      recorder.on_delivery(id, p, at);
+    });
+    sources.push_back(std::make_unique<Source>(
+        cluster.env(p), node.abcast(), recorder, rec_mu, per_process_rate,
+        config.payload_bytes, measure_to));
   }
-
   for (ProcessId p = 1; p <= config.n; ++p) {
-    stacks[p]->start();
-    sources[p]->start();
+    cluster.host().run_on(p, [&sources, p] { sources[p]->start(); });
   }
-  for (const CrashEvent& c : config.crashes)
-    cluster.crash_at(c.at, c.process);
 
-  // Run generation + measurement + drain. run_until (not run_all): the
-  // heartbeat failure detector keeps the event queue non-empty forever,
-  // so the run is bounded by simulated time. Messages still undelivered
+  // Run generation + measurement + drain, bounded by host time (the
+  // heartbeat failure detector keeps event queues busy forever, so
+  // "until quiet" is the wrong bound here). Messages still undelivered
   // at run_end are reported as such (saturation — or, for the faulty
   // stack under a crash, a Validity violation).
-  cluster.scheduler().run_until(run_end);
+  const Duration remaining = run_end - cluster.now();
+  if (remaining > 0) cluster.run_for(remaining);
+
+  // Quiesce before reading protocol state: on TCP this joins the
+  // reactors, so recorder/stacks can be read without races.
+  cluster.shutdown();
 
   ExperimentResult res;
   Samples& samples = recorder.samples();
@@ -107,7 +127,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   res.p95_latency_ms = samples.quantile(0.95);
   res.max_latency_ms = samples.max();
   res.broadcasts_measured = recorder.broadcasts_in_window();
-  res.undelivered = recorder.undelivered(cluster.network().alive_count());
+  res.undelivered = recorder.undelivered(cluster.host().alive_count());
   res.total_order_ok = recorder.total_order_ok();
   res.saturated = res.undelivered > 0;
   res.offered_throughput = config.throughput_msgs_per_sec;
@@ -116,13 +136,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           ? static_cast<double>(res.broadcasts_measured) /
                 to_sec(config.measure)
           : 0.0;
-  res.messages_sent = cluster.network().counters().messages_sent;
-  res.wire_bytes_sent = cluster.network().counters().wire_bytes_sent;
-  for (ProcessId p = 1; p <= config.n; ++p) {
-    const auto& stats = stacks[p]->consensus_stats();
-    res.consensus_rounds += stats.rounds_started;
-    res.proposals_refused += stats.proposals_refused;
-  }
+  const ClusterStats stats = cluster.stats();
+  res.messages_sent = stats.messages_sent;
+  res.wire_bytes_sent = stats.wire_bytes_sent;
+  res.consensus_rounds = stats.consensus_rounds;
+  res.proposals_refused = stats.proposals_refused;
   return res;
 }
 

@@ -1,14 +1,17 @@
 // End-to-end experiment driver: the paper's benchmark methodology (§4).
 //
-// One experiment = one simulated cluster of n processes all running the
-// same stack variant, a symmetric workload (every process abroadcasts at
-// rate throughput/n, Poisson arrivals), a warmup phase, a measurement
-// window, and a drain phase. The result carries the paper's latency
-// metric plus network counters and protocol statistics.
+// One experiment = one cluster of n processes all running the same stack
+// variant, a symmetric workload (every process abroadcasts at rate
+// throughput/n, Poisson arrivals), a warmup phase, a measurement window,
+// and a drain phase. The result carries the paper's latency metric plus
+// network counters and protocol statistics.
 //
-// Simulated time is decoupled from wall time: a 15-second Setup-1 run
+// The same driver runs on either host (`ExperimentConfig::host`): on the
+// simulator, time is decoupled from wall time — a 15-second Setup-1 run
 // completes in milliseconds of real time, which is what makes sweeping
-// whole figures practical.
+// whole figures practical; on the TCP host the identical code path
+// measures real loopback sockets in wall-clock time (keep the phases
+// short).
 #pragma once
 
 #include <cstdint>
@@ -17,6 +20,7 @@
 
 #include "abcast/stack_builder.hpp"
 #include "net/netmodel.hpp"
+#include "runtime/host.hpp"
 #include "util/time.hpp"
 #include "util/types.hpp"
 
@@ -29,7 +33,10 @@ struct CrashEvent {
 
 struct ExperimentConfig {
   std::uint32_t n = 3;
-  net::NetModel model = net::NetModel::setup1();
+  /// Which host runs the scenario: the deterministic simulator (default)
+  /// or loopback TCP sockets. The code path is identical.
+  runtime::HostKind host = runtime::HostKind::kSim;
+  net::NetModel model = net::NetModel::setup1();  // kSim only
   abcast::StackConfig stack = {};
 
   std::size_t payload_bytes = 1;

@@ -1,0 +1,245 @@
+// Tests for the ibc::Cluster facade: one-call wiring, deterministic
+// replay, crash schedules, bounds checking, subscription lifetime, and
+// the cross-host guarantee (the same scenario satisfies total order on
+// the simulator and on real TCP sockets).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <vector>
+
+#include "runtime/cluster.hpp"
+
+namespace ibc {
+namespace {
+
+abcast::StackConfig tcp_friendly_stack() {
+  abcast::StackConfig config;  // indirect CT + RB-flood over heartbeat FD
+  config.heartbeat.interval = milliseconds(20);
+  config.heartbeat.initial_timeout = milliseconds(200);
+  return config;
+}
+
+/// The shared scenario of the cross-host test: every process broadcasts
+/// `rounds` messages, interleaved.
+void drive_scenario(Cluster& cluster, int rounds) {
+  for (int i = 0; i < rounds; ++i) {
+    for (ProcessId p = 1; p <= cluster.n(); ++p) {
+      cluster.node(p).abroadcast("m-" + std::to_string(p) + "-" +
+                                 std::to_string(i));
+    }
+    cluster.run_for(milliseconds(5));
+  }
+  cluster.run_until_quiesced(/*idle=*/milliseconds(400),
+                             /*limit=*/seconds(30));
+}
+
+TEST(Cluster, OneCallWiringDeliversInTotalOrder) {
+  Cluster cluster(ClusterOptions{}.with_n(3).with_seed(7));
+  const MessageId a = cluster.node(1).abroadcast("alpha");
+  const MessageId b = cluster.node(2).abroadcast("bravo");
+  cluster.run_until_quiesced();
+
+  EXPECT_TRUE(a != MessageId{});
+  for (ProcessId p = 1; p <= 3; ++p) {
+    EXPECT_TRUE(cluster.delivered(p, a)) << "p" << p;
+    EXPECT_TRUE(cluster.delivered(p, b)) << "p" << p;
+    EXPECT_EQ(cluster.log(p).size(), 2u);
+  }
+  EXPECT_TRUE(cluster.prefix_consistent());
+
+  const ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.total_deliveries, 6u);
+  EXPECT_TRUE(stats.prefix_consistent);
+  EXPECT_GT(stats.consensus_rounds, 0u);
+  EXPECT_GT(stats.messages_sent, 0u);
+  EXPECT_GT(stats.wire_bytes_sent, 0u);
+}
+
+TEST(Cluster, SameConfigAndSeedReplaysBitIdenticalLogs) {
+  const auto run_once = [] {
+    Cluster cluster(ClusterOptions{}
+                        .with_n(3)
+                        .with_seed(1234)
+                        .with_model(net::NetModel::setup1()));
+    for (int i = 0; i < 5; ++i) {
+      cluster.node(1 + i % 3).abroadcast("payload-" + std::to_string(i));
+      cluster.run_for(milliseconds(2));
+    }
+    cluster.run_for(seconds(2));
+    std::vector<std::vector<Cluster::Delivery>> logs;
+    for (ProcessId p = 1; p <= 3; ++p) logs.push_back(cluster.log(p));
+    return logs;
+  };
+
+  const auto first = run_once();
+  const auto second = run_once();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t p = 0; p < first.size(); ++p) {
+    ASSERT_EQ(first[p].size(), second[p].size()) << "p" << p + 1;
+    EXPECT_GT(first[p].size(), 0u) << "p" << p + 1;
+    for (std::size_t i = 0; i < first[p].size(); ++i) {
+      EXPECT_EQ(first[p][i].id, second[p][i].id);
+      EXPECT_EQ(first[p][i].payload, second[p][i].payload);
+      EXPECT_EQ(first[p][i].at, second[p][i].at) << "delivery times drift";
+    }
+  }
+}
+
+TEST(Cluster, CrashScheduleFromOptionsFires) {
+  Cluster cluster(ClusterOptions{}
+                      .with_n(3)
+                      .with_seed(21)
+                      .with_crash(milliseconds(50), 3));
+  EXPECT_FALSE(cluster.host().crashed(3));
+  cluster.run_for(milliseconds(100));
+  EXPECT_TRUE(cluster.host().crashed(3));
+  EXPECT_EQ(cluster.host().alive_count(), 2u);
+
+  // The survivors still order traffic; the dead process logs nothing new.
+  const std::size_t dead_log = cluster.log(3).size();
+  const MessageId m = cluster.node(1).abroadcast("after the crash");
+  // idle > the heartbeat FD timeout: ordering stalls until the
+  // survivors suspect p3.
+  cluster.run_until_quiesced(/*idle=*/milliseconds(800),
+                             /*limit=*/seconds(30));
+  EXPECT_TRUE(cluster.delivered(1, m));
+  EXPECT_TRUE(cluster.delivered(2, m));
+  EXPECT_EQ(cluster.log(3).size(), dead_log);
+  EXPECT_TRUE(cluster.prefix_consistent());
+
+  // Broadcasting from a crashed process is a silent no-op with an
+  // invalid id, not UB.
+  EXPECT_EQ(cluster.node(3).abroadcast("from the grave"), MessageId{});
+}
+
+using ClusterDeathTest = ::testing::Test;
+
+TEST(ClusterDeathTest, NodeZeroAndOutOfRangeAbort) {
+  Cluster cluster(ClusterOptions{}.with_n(3).with_seed(1));
+  // p == 0 is the historical dummy-slot trap: it must fail loudly.
+  EXPECT_DEATH(cluster.node(0), "1-based");
+  EXPECT_DEATH(cluster.node(4), "1-based");
+}
+
+TEST(Subscription, UnsubscribeStopsCallbacks) {
+  Cluster cluster(ClusterOptions{}.with_n(3).with_seed(5));
+  int raii_count = 0;
+  int token_count = 0;
+
+  core::AbcastService& service = cluster.node(1).abcast();
+  core::Subscription handle = service.subscribe_scoped(
+      [&raii_count](const MessageId&, BytesView) { ++raii_count; });
+  const auto token = service.subscribe(
+      [&token_count](const MessageId&, BytesView) { ++token_count; });
+  EXPECT_TRUE(handle.active());
+
+  cluster.node(1).abroadcast("one");
+  cluster.run_until_quiesced();
+  EXPECT_EQ(raii_count, 1);
+  EXPECT_EQ(token_count, 1);
+
+  handle.reset();
+  EXPECT_FALSE(handle.active());
+  service.unsubscribe(token);
+  cluster.node(1).abroadcast("two");
+  cluster.run_until_quiesced();
+  EXPECT_EQ(raii_count, 1) << "RAII subscription fired after reset";
+  EXPECT_EQ(token_count, 1) << "token subscription fired after unsubscribe";
+}
+
+TEST(Subscription, UnsubscribeFromInsideDeliveryIsSafe) {
+  Cluster cluster(ClusterOptions{}.with_n(3).with_seed(6));
+  core::AbcastService& service = cluster.node(2).abcast();
+  int fired = 0;
+  core::Subscription handle;
+  handle = service.subscribe_scoped(
+      [&fired, &handle](const MessageId&, BytesView) {
+        ++fired;
+        handle.reset();  // reentrant: tombstoned, compacted after fire
+      });
+  int other = 0;
+  service.subscribe([&other](const MessageId&, BytesView) { ++other; });
+
+  cluster.node(2).abroadcast("a");
+  cluster.node(2).abroadcast("b");
+  cluster.run_until_quiesced();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(other, 2) << "later subscriber skipped after reentrant reset";
+}
+
+TEST(Subscription, HandleOutlivingServiceIsHarmless) {
+  core::Subscription survivor;
+  {
+    Cluster cluster(ClusterOptions{}.with_n(3).with_seed(8));
+    survivor = cluster.node(1).abcast().subscribe_scoped(
+        [](const MessageId&, BytesView) {});
+    EXPECT_TRUE(survivor.active());
+  }
+  EXPECT_FALSE(survivor.active());
+  survivor.reset();  // must not touch the dead service
+}
+
+TEST(Cluster, ReentrantBroadcastFromDeliveryCallbackWorksOnBothHosts) {
+  // A request/response pattern: replying from inside on_deliver must not
+  // deadlock the TCP reactor (run_on detects its own thread) and must
+  // behave identically on the simulator.
+  for (const runtime::HostKind host :
+       {runtime::HostKind::kSim, runtime::HostKind::kTcp}) {
+    Cluster cluster(ClusterOptions{}
+                        .with_n(3)
+                        .with_seed(13)
+                        .with_stack(tcp_friendly_stack())
+                        .with_host(host));
+    std::atomic<bool> replied{false};
+    cluster.node(2).on_deliver(
+        [&cluster, &replied](const MessageId& id, BytesView) {
+          if (id.origin == 1 && !replied.exchange(true))
+            cluster.node(2).abroadcast("reply from p2");
+        });
+    const MessageId request = cluster.node(1).abroadcast("request");
+    cluster.run_until_quiesced(/*idle=*/milliseconds(400),
+                               /*limit=*/seconds(30));
+    cluster.shutdown();
+
+    const char* label =
+        host == runtime::HostKind::kSim ? "sim" : "tcp";
+    for (ProcessId p = 1; p <= 3; ++p) {
+      EXPECT_EQ(cluster.log(p).size(), 2u) << label << " host, p" << p;
+      EXPECT_TRUE(cluster.delivered(p, request)) << label << " host";
+    }
+    EXPECT_TRUE(cluster.prefix_consistent()) << label << " host";
+  }
+}
+
+TEST(Cluster, CrossHostSameScenarioSatisfiesTotalOrder) {
+  constexpr int kRounds = 5;
+  constexpr std::uint32_t kN = 3;
+  const std::size_t expected = kN * kRounds;
+
+  for (const runtime::HostKind host :
+       {runtime::HostKind::kSim, runtime::HostKind::kTcp}) {
+    Cluster cluster(ClusterOptions{}
+                        .with_n(kN)
+                        .with_seed(42)
+                        .with_stack(tcp_friendly_stack())
+                        .with_host(host));
+    EXPECT_EQ(cluster.host_kind(), host);
+    drive_scenario(cluster, kRounds);
+    cluster.shutdown();
+
+    const char* label =
+        host == runtime::HostKind::kSim ? "sim" : "tcp";
+    for (ProcessId p = 1; p <= kN; ++p) {
+      EXPECT_EQ(cluster.log(p).size(), expected)
+          << label << " host, p" << p;
+    }
+    EXPECT_TRUE(cluster.prefix_consistent()) << label << " host";
+    const ClusterStats stats = cluster.stats();
+    EXPECT_GT(stats.consensus_rounds, 0u) << label << " host";
+    EXPECT_GT(stats.wire_bytes_sent, 0u) << label << " host";
+  }
+}
+
+}  // namespace
+}  // namespace ibc

@@ -1,55 +1,46 @@
-// Shared test fixtures: a simulated cluster of full protocol stacks with
-// per-process delivery logs and convenience assertions.
+// Shared test fixture: a thin shim over the `ibc::Cluster` facade that
+// preserves the historical harness vocabulary (broadcast/log/delivered/
+// logs_prefix_consistent) for the suites built on it.
 #pragma once
 
-#include <memory>
-#include <string>
+#include <string_view>
 #include <vector>
 
 #include "abcast/stack_builder.hpp"
-#include "runtime/sim_cluster.hpp"
+#include "runtime/cluster.hpp"
 #include "util/bytes.hpp"
 
 namespace ibc::test {
 
 /// A group of n processes all running the same stack configuration on a
-/// simulated network, with every A-delivery recorded per process.
+/// simulated network, with every A-delivery recorded per process (the
+/// facade's built-in recorder).
 class AbcastHarness {
  public:
-  struct Delivery {
-    MessageId id;
-    Bytes payload;
-    TimePoint at;
-  };
+  using Delivery = ibc::Cluster::Delivery;
 
   AbcastHarness(std::uint32_t n, const abcast::StackConfig& config,
                 const net::NetModel& model = net::NetModel::fast_test(),
                 std::uint64_t seed = 42)
-      : cluster_(n, model, seed) {
-    stacks_.push_back(nullptr);  // 1-based
-    logs_.resize(n + 1);
-    for (ProcessId p = 1; p <= n; ++p) {
-      auto stack = std::make_unique<abcast::ProcessStack>(
-          cluster_.env(p), config, &cluster_.network());
-      stack->abcast().subscribe(
-          [this, p](const MessageId& id, BytesView payload) {
-            logs_[p].push_back(
-                Delivery{id, to_bytes(payload), cluster_.now()});
-          });
-      stacks_.push_back(std::move(stack));
-    }
-    for (ProcessId p = 1; p <= n; ++p) stacks_[p]->start();
-  }
+      : cluster_(ibc::ClusterOptions{}
+                     .with_n(n)
+                     .with_stack(config)
+                     .with_model(model)
+                     .with_seed(seed)) {}
 
-  runtime::SimCluster& cluster() { return cluster_; }
-  abcast::ProcessStack& stack(ProcessId p) { return *stacks_[p]; }
-  core::AbcastService& abcast(ProcessId p) { return stacks_[p]->abcast(); }
-  const std::vector<Delivery>& log(ProcessId p) const { return logs_[p]; }
+  ibc::Cluster& cluster() { return cluster_; }
+  abcast::ProcessStack& stack(ProcessId p) {
+    return cluster_.node(p).stack();
+  }
+  core::AbcastService& abcast(ProcessId p) {
+    return cluster_.node(p).abcast();
+  }
+  std::vector<Delivery> log(ProcessId p) const { return cluster_.log(p); }
   std::uint32_t n() const { return cluster_.n(); }
 
   /// Broadcasts a payload from p at the current instant.
   MessageId broadcast(ProcessId p, std::string_view payload) {
-    return abcast(p).abroadcast(bytes_of(payload));
+    return cluster_.node(p).abroadcast(payload);
   }
 
   /// Runs the simulation for `d`.
@@ -58,30 +49,16 @@ class AbcastHarness {
   /// True iff every pair of delivery logs is prefix-consistent (Uniform
   /// Total Order).
   bool logs_prefix_consistent() const {
-    for (ProcessId a = 1; a <= n(); ++a) {
-      for (ProcessId b = a + 1; b <= n(); ++b) {
-        const auto& la = logs_[a];
-        const auto& lb = logs_[b];
-        const std::size_t common = std::min(la.size(), lb.size());
-        for (std::size_t i = 0; i < common; ++i) {
-          if (!(la[i].id == lb[i].id)) return false;
-        }
-      }
-    }
-    return true;
+    return cluster_.prefix_consistent();
   }
 
   /// True iff process p delivered the given id.
   bool delivered(ProcessId p, const MessageId& id) const {
-    for (const Delivery& d : logs_[p])
-      if (d.id == id) return true;
-    return false;
+    return cluster_.delivered(p, id);
   }
 
  private:
-  runtime::SimCluster cluster_;
-  std::vector<std::unique_ptr<abcast::ProcessStack>> stacks_;
-  std::vector<std::vector<Delivery>> logs_;  // [1..n]
+  ibc::Cluster cluster_;
 };
 
 }  // namespace ibc::test

@@ -9,9 +9,9 @@
 #include <thread>
 #include <vector>
 
-#include "abcast/stack_builder.hpp"
 #include "net/tcp/framing.hpp"
 #include "net/tcp/tcp_transport.hpp"
+#include "runtime/cluster.hpp"
 
 namespace ibc::net::tcp {
 namespace {
@@ -128,56 +128,48 @@ TEST(TcpCluster, SelfSendLoopsBack) {
 TEST(TcpAbcast, TotalOrderOnRealSockets) {
   constexpr std::uint32_t kN = 3;
   constexpr int kPerProcess = 25;
-  TcpCluster cluster(kN, /*seed=*/5);
 
   abcast::StackConfig config;  // indirect CT + RB-flood
   config.heartbeat.interval = milliseconds(20);
   config.heartbeat.initial_timeout = milliseconds(200);
 
-  std::vector<std::unique_ptr<abcast::ProcessStack>> stacks(1);
-  std::mutex mu;
-  std::vector<std::vector<MessageId>> logs(kN + 1);
-  for (ProcessId p = 1; p <= kN; ++p) {
-    stacks.push_back(
-        std::make_unique<abcast::ProcessStack>(cluster.env(p), config));
-    stacks[p]->abcast().subscribe(
-        [&mu, &logs, p](const MessageId& id, BytesView) {
-          const std::scoped_lock lock(mu);
-          logs[p].push_back(id);
-        });
-  }
-  cluster.start();
-  for (ProcessId p = 1; p <= kN; ++p)
-    cluster.run_on(p, [&stacks, p] { stacks[p]->start(); });
+  ibc::Cluster cluster(ibc::ClusterOptions{}
+                           .with_n(kN)
+                           .with_seed(5)
+                           .with_stack(config)
+                           .on_tcp());
 
   for (int i = 0; i < kPerProcess; ++i) {
     for (ProcessId p = 1; p <= kN; ++p) {
-      cluster.post(p, [&stacks, p, i] {
-        stacks[p]->abcast().abroadcast(
-            bytes_of("tcp-" + std::to_string(p) + "-" + std::to_string(i)));
-      });
+      cluster.node(p).abroadcast("tcp-" + std::to_string(p) + "-" +
+                                 std::to_string(i));
     }
-    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    cluster.run_for(milliseconds(2));
   }
 
   // Wait for every process to deliver everything (bounded).
   const std::size_t expected = kN * kPerProcess;
   for (int i = 0; i < 2000; ++i) {
-    {
-      const std::scoped_lock lock(mu);
-      bool all = true;
-      for (ProcessId p = 1; p <= kN; ++p)
-        all &= logs[p].size() >= expected;
-      if (all) break;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    bool all = true;
+    for (ProcessId p = 1; p <= kN; ++p)
+      all &= cluster.log(p).size() >= expected;
+    if (all) break;
+    cluster.run_for(milliseconds(5));
   }
+  cluster.shutdown();
 
-  const std::scoped_lock lock(mu);
+  std::vector<std::vector<ibc::Cluster::Delivery>> logs;
+  logs.emplace_back();  // 1-based
+  for (ProcessId p = 1; p <= kN; ++p) logs.push_back(cluster.log(p));
   for (ProcessId p = 1; p <= kN; ++p)
     ASSERT_EQ(logs[p].size(), expected) << "p" << p;
   // Uniform total order: identical logs.
-  for (ProcessId p = 2; p <= kN; ++p) EXPECT_EQ(logs[p], logs[1]);
+  EXPECT_TRUE(cluster.prefix_consistent());
+  const ibc::ClusterStats stats = cluster.stats();
+  EXPECT_EQ(stats.total_deliveries, expected * kN);
+  EXPECT_GT(stats.messages_sent, 0u);
+  EXPECT_GT(stats.wire_bytes_sent, 0u);
+  EXPECT_GT(stats.consensus_rounds, 0u);
 }
 
 }  // namespace

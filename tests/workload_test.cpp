@@ -120,6 +120,33 @@ TEST(Experiment, LatencyRisesWithThroughput) {
   EXPECT_LT(run_at(50), run_at(600));
 }
 
+TEST(Experiment, SameScenarioRunsOnBothHosts) {
+  // The whole point of the Host abstraction: one config, one driver,
+  // two transports. Keep the phases short — the TCP leg is wall-clock.
+  ExperimentConfig cfg;
+  cfg.n = 3;
+  cfg.stack.heartbeat.initial_timeout = milliseconds(300);
+  cfg.throughput_msgs_per_sec = 60;
+  cfg.payload_bytes = 16;
+  cfg.warmup = milliseconds(100);
+  cfg.measure = milliseconds(500);
+  cfg.drain = milliseconds(400);
+  cfg.seed = 11;
+
+  for (const runtime::HostKind host :
+       {runtime::HostKind::kSim, runtime::HostKind::kTcp}) {
+    cfg.host = host;
+    const ExperimentResult r = run_experiment(cfg);
+    const char* label = host == runtime::HostKind::kSim ? "sim" : "tcp";
+    EXPECT_GT(r.samples, 0u) << label;
+    EXPECT_TRUE(r.total_order_ok) << label;
+    EXPECT_EQ(r.undelivered, 0u) << label;
+    EXPECT_GT(r.messages_sent, 0u) << label;
+    EXPECT_GT(r.wire_bytes_sent, 0u) << label;
+    EXPECT_GT(r.consensus_rounds, 0u) << label;
+  }
+}
+
 TEST(Experiment, CrashDuringWarmupStillDelivers) {
   ExperimentConfig cfg;
   cfg.n = 5;
