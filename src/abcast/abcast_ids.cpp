@@ -3,22 +3,25 @@
 namespace ibc::abcast {
 
 AbcastIds::AbcastIds(runtime::Env& env, bcast::BroadcastService& bc,
-                     consensus::Consensus& cons)
+                     consensus::Consensus& cons,
+                     std::uint32_t pipeline_depth)
     : env_(env),
       bc_(bc),
       cons_(cons),
       core_(core::OrderingCore::Callbacks{
-          .start_instance =
-              [this](consensus::InstanceId k, const core::IdSet& proposal) {
-                // Plain consensus: the proposal is the serialized id set,
-                // no rcv predicate travels with it.
-                cons_.propose(k, proposal.to_value());
-              },
-          .adeliver =
-              [this](const MessageId& id, BytesView payload) {
-                fire_deliver(id, payload);
-              },
-      }) {
+                .start_instance =
+                    [this](consensus::InstanceId k,
+                           const core::IdSet& proposal) {
+                      // Plain consensus: the proposal is the serialized
+                      // id set, no rcv predicate travels with it.
+                      cons_.propose(k, proposal.to_value());
+                    },
+                .adeliver =
+                    [this](const MessageId& id, BytesView payload) {
+                      fire_deliver(id, payload);
+                    },
+            },
+            pipeline_depth) {
   bc_.subscribe([this](ProcessId, BytesView wire) {
     Reader r(wire);
     const MessageId id = r.message_id();

@@ -32,8 +32,10 @@ namespace ibc::abcast {
 
 class AbcastIds final : public core::AbcastService {
  public:
+  /// `pipeline_depth` = concurrent ordering instances (W); 1 = the
+  /// paper's sequential loop.
   AbcastIds(runtime::Env& env, bcast::BroadcastService& bc,
-            consensus::Consensus& cons);
+            consensus::Consensus& cons, std::uint32_t pipeline_depth = 1);
 
   MessageId abroadcast(Bytes payload) override;
 

@@ -17,6 +17,8 @@ std::string describe(const StackConfig& config) {
     case RbKind::kFdBasedN: out += " + RB(n)"; break;
     case RbKind::kUniform: out += " + URB"; break;
   }
+  if (config.pipeline_depth > 1)
+    out += " [W=" + std::to_string(config.pipeline_depth) + "]";
   if (!is_correct_stack(config)) out += " [FAULTY]";
   return out;
 }
@@ -74,7 +76,7 @@ ProcessStack::ProcessStack(runtime::Host& host, ProcessId p,
           stack_, runtime::kLayerConsensus, *fd_, config.indirect);
     }
     abcast_ = std::make_unique<core::AbcastIndirect>(
-        env, *bcast_, *indirect_consensus_);
+        env, *bcast_, *indirect_consensus_, config.pipeline_depth);
     return;
   }
 
@@ -89,7 +91,8 @@ ProcessStack::ProcessStack(runtime::Host& host, ProcessId p,
     abcast_ =
         std::make_unique<AbcastMsgs>(env, *bcast_, *plain_consensus_);
   } else {
-    abcast_ = std::make_unique<AbcastIds>(env, *bcast_, *plain_consensus_);
+    abcast_ = std::make_unique<AbcastIds>(env, *bcast_, *plain_consensus_,
+                                          config.pipeline_depth);
   }
 }
 

@@ -50,6 +50,12 @@ struct StackConfig {
   /// Suspicion delay of the oracle detector (kPerfect only).
   Duration perfect_fd_delay = milliseconds(5);
   core::IndirectConfig indirect = {};
+  /// How many consensus instances the id-ordering core keeps in flight
+  /// (W). 1 = the paper's sequential Algorithm 1; larger windows
+  /// pipeline ordering for throughput (kIndirect and kIdsPlain; kMsgs
+  /// has no id-ordering queue and ignores it). See docs/PROTOCOL.md for
+  /// the safety argument.
+  std::uint32_t pipeline_depth = 1;
 };
 
 /// One-line human description, e.g. "indirect-CT + RB(n^2)" or

@@ -4,24 +4,27 @@ namespace ibc::core {
 
 AbcastIndirect::AbcastIndirect(runtime::Env& env,
                                bcast::BroadcastService& rb,
-                               IndirectConsensus& ic)
+                               IndirectConsensus& ic,
+                               std::uint32_t pipeline_depth)
     : env_(env),
       rb_(rb),
       ic_(ic),
       core_(OrderingCore::Callbacks{
-          .start_instance =
-              [this](consensus::InstanceId k, const IdSet& proposal) {
-                // Lines 15-17: propose (unordered, rcv). The rcv handed to
-                // consensus is Algorithm 1's lines 9-10 over this
-                // process's received set.
-                ic_.propose(k, proposal,
-                            [this](const IdSet& v) { return core_.rcv(v); });
-              },
-          .adeliver =
-              [this](const MessageId& id, BytesView payload) {
-                fire_deliver(id, payload);
-              },
-      }) {
+                .start_instance =
+                    [this](consensus::InstanceId k, const IdSet& proposal) {
+                      // Lines 15-17: propose (unordered, rcv). The rcv
+                      // handed to consensus is Algorithm 1's lines 9-10
+                      // over this process's received set.
+                      ic_.propose(k, proposal, [this](const IdSet& v) {
+                        return core_.rcv(v);
+                      });
+                    },
+                .adeliver =
+                    [this](const MessageId& id, BytesView payload) {
+                      fire_deliver(id, payload);
+                    },
+            },
+            pipeline_depth) {
   rb_.subscribe([this](ProcessId, BytesView wire) {
     Reader r(wire);
     const MessageId id = r.message_id();

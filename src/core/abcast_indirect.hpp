@@ -29,8 +29,10 @@ class AbcastIndirect final : public AbcastService {
  public:
   /// `rb` must be a *reliable* broadcast (Agreement among correct
   /// processes); `ic` an indirect consensus bound to the same stack.
+  /// `pipeline_depth` = how many consensus instances the ordering core
+  /// keeps in flight (W); 1 = the paper's sequential Algorithm 1.
   AbcastIndirect(runtime::Env& env, bcast::BroadcastService& rb,
-                 IndirectConsensus& ic);
+                 IndirectConsensus& ic, std::uint32_t pipeline_depth = 1);
 
   MessageId abroadcast(Bytes payload) override;
 

@@ -1,24 +1,29 @@
 #include "core/ordering.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "util/assert.hpp"
 
 namespace ibc::core {
 
-OrderingCore::OrderingCore(Callbacks callbacks)
-    : callbacks_(std::move(callbacks)) {
+OrderingCore::OrderingCore(Callbacks callbacks, std::uint32_t window)
+    : callbacks_(std::move(callbacks)), window_(window) {
   IBC_REQUIRE(callbacks_.start_instance != nullptr);
   IBC_REQUIRE(callbacks_.adeliver != nullptr);
+  IBC_REQUIRE_MSG(window_ >= 1, "pipeline window must be at least 1");
 }
 
 void OrderingCore::on_rdeliver(const MessageId& id, BytesView payload) {
   if (delivered_.contains(id) || received_.contains(id)) return;
   received_.emplace(id, to_bytes(payload));
   // Line 13: only ids not already ordered become consensus candidates.
-  if (!ordered_set_.contains(id)) unordered_.insert(id);
+  if (!ordered_set_.contains(id)) {
+    unordered_.insert(id);
+    unproposed_.insert(id);
+  }
   try_deliver();
-  maybe_start_instance();
+  maybe_start_instances();
 }
 
 void OrderingCore::on_decision(consensus::InstanceId k, const IdSet& ids) {
@@ -32,33 +37,63 @@ void OrderingCore::on_decision(consensus::InstanceId k, const IdSet& ids) {
     pending_decisions_.erase(it);
     apply_decision(applied_k_ + 1, next);
   }
-  maybe_start_instance();
+  maybe_start_instances();
 }
 
 void OrderingCore::apply_decision(consensus::InstanceId k,
                                   const IdSet& ids) {
   applied_k_ = k;
-  if (inflight_ == k) inflight_.reset();
+  // Close our open instance k, if any.
+  IdSet closed;
+  const auto open = inflight_.find(k);
+  if (open != inflight_.end()) {
+    closed = std::move(open->second);
+    for (const MessageId& id : closed) proposed_.erase(id);
+    inflight_.erase(open);
+  }
   // Line 19: unordered \ idSet.
   unordered_.remove_all(ids);
-  // Lines 20-21: append in the canonical (deterministic) order.
+  unproposed_.remove_all(ids);
+  // Ids the closed instance proposed but this decision did not order are
+  // still unordered: they return to the pool and ride a later instance.
+  for (const MessageId& id : closed) {
+    if (unordered_.contains(id)) unproposed_.insert(id);
+  }
+  // Lines 20-21: append in the canonical (deterministic) order. Under a
+  // window another process may have grouped an id into a different
+  // instance number, so a decided set can overlap an earlier decision;
+  // such ids were already ordered (or delivered) and are skipped —
+  // exactly-once A-delivery. Every process applies the same decisions in
+  // the same order, so every process skips the same ids.
   for (const MessageId& id : ids) {
-    IBC_ASSERT_MSG(!delivered_.contains(id) && !ordered_set_.contains(id),
-                   "id ordered twice");
+    if (delivered_.contains(id) || ordered_set_.contains(id)) {
+      ++ids_deduplicated_;
+      continue;
+    }
     ordered_.push_back(id);
     ordered_set_.insert(id);
   }
   try_deliver();
 }
 
-void OrderingCore::maybe_start_instance() {
-  // One instance at a time; a decision that already arrived for the next
-  // instance takes precedence over proposing in it.
-  if (inflight_.has_value() || unordered_.empty()) return;
-  const consensus::InstanceId k = applied_k_ + 1;
-  if (pending_decisions_.contains(k)) return;
-  inflight_ = k;
-  callbacks_.start_instance(k, unordered_);
+void OrderingCore::maybe_start_instances() {
+  // Open an instance while the window has room and there are unordered
+  // ids not yet proposed in an open instance (a new instance takes the
+  // whole pool, so one iteration drains it). Instance numbers are
+  // strictly increasing; numbers whose decision already arrived are
+  // skipped (the decision is fixed — proposing there would be wasted
+  // work).
+  while (inflight_.size() < window_ && !unproposed_.empty()) {
+    const IdSet proposal = std::exchange(unproposed_, IdSet{});
+    consensus::InstanceId k = std::max(applied_k_, opened_k_) + 1;
+    while (pending_decisions_.contains(k)) ++k;
+    opened_k_ = k;
+    for (const MessageId& id : proposal) proposed_.insert(id);
+    inflight_.emplace(k, proposal);
+    inflight_high_water_ =
+        std::max(inflight_high_water_, inflight_.size());
+    callbacks_.start_instance(k, proposal);
+  }
 }
 
 void OrderingCore::try_deliver() {

@@ -8,14 +8,29 @@
 //
 // and the two rules:
 //   * run consensus instance k = 1, 2, ... whenever unordered ≠ ∅
-//     (lines 15-18), one instance at a time;
+//     (lines 15-18);
 //   * A-deliver the head of `ordered` as soon as its payload is present
 //     (lines 23-25).
+//
+// Pipelining (window > 1): the paper runs one consensus instance at a
+// time; this core generalizes that to a window of up to `window`
+// concurrent instances. Instance k+1 is started as soon as there are
+// unordered ids not yet proposed in an open instance — ids already
+// proposed in an open instance are excluded from later proposals, and
+// leftovers of a closed instance (proposed but not decided there) return
+// to the proposal pool. Because different processes may group the same id
+// into different instance numbers, a decided set can overlap an earlier
+// instance's decision; overlap is deduplicated at apply time (counted in
+// `ids_deduplicated`), so each id is A-delivered exactly once. The
+// default window of 1 is exactly the paper's Algorithm 1, where the
+// dedup path is unreachable. docs/PROTOCOL.md carries the line-by-line
+// map and the safety argument for the window.
 //
 // Decisions are applied strictly in instance order — instance k+1's
 // decision can physically arrive before instance k's (independent decide
 // floods) and is buffered until its turn, since the total order is the
-// concatenation of the per-instance sequences.
+// concatenation of the per-instance sequences. This is what keeps the
+// total order identical at every process under any window.
 //
 // The class is transport- and consensus-agnostic: the owner wires
 // `start_instance` to an (indirect or plain) consensus propose and feeds
@@ -47,7 +62,9 @@ class OrderingCore {
     std::function<void(const MessageId&, BytesView)> adeliver;
   };
 
-  explicit OrderingCore(Callbacks callbacks);
+  /// `window` = maximum number of concurrent consensus instances this
+  /// process proposes in (W); 1 = the paper's sequential Algorithm 1.
+  explicit OrderingCore(Callbacks callbacks, std::uint32_t window = 1);
 
   /// Feed of R-deliveries (Algorithm 1 lines 11-14). Duplicate ids are
   /// ignored (the broadcast layer already guarantees at-most-once; this
@@ -66,7 +83,16 @@ class OrderingCore {
   std::size_t ordered_backlog() const { return ordered_.size(); }
   std::size_t delivered_count() const { return delivered_.size(); }
   consensus::InstanceId instances_completed() const { return applied_k_; }
-  bool instance_in_flight() const { return inflight_.has_value(); }
+  /// Number of currently open instances (proposed, decision not yet
+  /// applied). 0 or 1 at window 1.
+  std::size_t instances_in_flight() const { return inflight_.size(); }
+  /// Most instances ever open at once — how much of the window the run
+  /// actually used.
+  std::size_t inflight_high_water() const { return inflight_high_water_; }
+  /// Ids skipped at apply time because an earlier instance already
+  /// ordered them (only reachable at window > 1).
+  std::uint64_t ids_deduplicated() const { return ids_deduplicated_; }
+  std::uint32_t window() const { return window_; }
   bool is_delivered(const MessageId& id) const {
     return delivered_.contains(id);
   }
@@ -75,19 +101,34 @@ class OrderingCore {
   std::optional<MessageId> blocked_head() const;
 
  private:
-  void maybe_start_instance();
+  void maybe_start_instances();
   void apply_decision(consensus::InstanceId k, const IdSet& ids);
   void try_deliver();
 
   Callbacks callbacks_;
+  std::uint32_t window_ = 1;
   std::unordered_map<MessageId, Bytes> received_;  // payload pending use
   std::unordered_set<MessageId> delivered_;
   IdSet unordered_;
   std::deque<MessageId> ordered_;
   std::unordered_set<MessageId> ordered_set_;  // mirror of ordered_
   consensus::InstanceId applied_k_ = 0;
-  std::optional<consensus::InstanceId> inflight_;
+  /// Open instances: k -> the proposal this process made in k. Closed
+  /// (erased) when k's decision is applied; leftovers re-enter the pool.
+  std::map<consensus::InstanceId, IdSet> inflight_;
+  /// Union of the open proposals — ids excluded from new proposals.
+  std::unordered_set<MessageId> proposed_;
+  /// unordered_ \ proposed_, maintained incrementally: the next
+  /// proposal, ready to go (keeps the hot path O(changes), not
+  /// O(|unordered|) per event).
+  IdSet unproposed_;
+  /// Highest instance this process ever proposed in (or skipped because
+  /// its decision had already arrived); proposals use strictly
+  /// increasing instance numbers.
+  consensus::InstanceId opened_k_ = 0;
   std::map<consensus::InstanceId, IdSet> pending_decisions_;
+  std::size_t inflight_high_water_ = 0;
+  std::uint64_t ids_deduplicated_ = 0;
 };
 
 }  // namespace ibc::core

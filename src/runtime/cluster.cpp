@@ -30,10 +30,10 @@ Cluster::Cluster(const ClusterOptions& options)
     : host_(make_host(options)) {
   logs_.resize(options.n + 1);
   nodes_.reserve(options.n);
+  const abcast::StackConfig stack = options.effective_stack();
   for (ProcessId p = 1; p <= options.n; ++p) {
     Node node(this, p,
-              std::make_unique<abcast::ProcessStack>(*host_, p,
-                                                     options.stack));
+              std::make_unique<abcast::ProcessStack>(*host_, p, stack));
     // Built-in delivery recorder. Subscribed before the host starts, so
     // no callback can race the registration even on TCP.
     if (options.record_deliveries) {
@@ -129,10 +129,22 @@ ClusterStats Cluster::stats() {
   ClusterStats stats;
   for (ProcessId p = 1; p <= n(); ++p) {
     consensus::Consensus::Stats engine{};
+    std::uint64_t completed = 0;
+    std::size_t high_water = 0;
+    std::uint64_t deduped = 0;
+    const auto read_stats = [this, p, &engine, &completed, &high_water,
+                             &deduped] {
+      engine = nodes_[p - 1].stack_->consensus_stats();
+      if (const core::OrderingCore* ord = nodes_[p - 1].stack_->ordering()) {
+        completed = ord->instances_completed();
+        high_water = ord->inflight_high_water();
+        deduped = ord->ids_deduplicated();
+      }
+    };
     bool read = false;
     if (!host_->crashed(p)) {
-      host_->run_on(p, [this, p, &engine, &read] {
-        engine = nodes_[p - 1].stack_->consensus_stats();
+      host_->run_on(p, [&read_stats, &read] {
+        read_stats();
         read = true;
       });
     }
@@ -140,10 +152,13 @@ ClusterStats Cluster::stats() {
       // Crashed (run_on may have been abandoned by a concurrent crash):
       // a crashed-observed process executes no further code, so the
       // direct read is race-free.
-      engine = nodes_[p - 1].stack_->consensus_stats();
+      read_stats();
     }
     stats.consensus_rounds += engine.rounds_started;
     stats.proposals_refused += engine.proposals_refused;
+    stats.instances_completed = std::max(stats.instances_completed, completed);
+    stats.pipeline_high_water = std::max(stats.pipeline_high_water, high_water);
+    stats.ids_deduplicated += deduped;
   }
   const runtime::HostCounters wire = host_->counters();
   stats.messages_sent = wire.messages_sent;

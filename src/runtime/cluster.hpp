@@ -52,6 +52,8 @@ struct ClusterOptions {
   std::uint32_t n = 3;
   std::uint64_t seed = 1;
   abcast::StackConfig stack = {};
+  /// Ordering-window override; 0 = keep `stack.pipeline_depth`.
+  std::uint32_t pipeline = 0;
   runtime::HostKind host = runtime::HostKind::kSim;
   net::NetModel model = net::NetModel::fast_test();  // kSim only
   std::vector<ClusterCrash> crashes;
@@ -74,6 +76,22 @@ struct ClusterOptions {
   ClusterOptions& with_stack(const abcast::StackConfig& config) {
     stack = config;
     return *this;
+  }
+  /// Window of concurrent ordering instances (W). 1 is the
+  /// paper-faithful sequential Algorithm 1 (the default, via
+  /// `StackConfig::pipeline_depth`); larger windows pipeline consensus
+  /// instances for throughput. Overrides the stack config regardless of
+  /// option order (see `effective_stack`).
+  ClusterOptions& pipeline_depth(std::uint32_t w) {
+    pipeline = w;
+    return *this;
+  }
+  /// The stack config the cluster actually builds: `stack` with the
+  /// `pipeline_depth` override (if any) folded in.
+  abcast::StackConfig effective_stack() const {
+    abcast::StackConfig config = stack;
+    if (pipeline != 0) config.pipeline_depth = pipeline;
+    return config;
   }
   /// Sets the simulated network model (only the kSim host reads it;
   /// host selection is with_host/on_tcp alone, so option order never
@@ -109,6 +127,10 @@ struct ClusterStats {
   std::size_t total_deliveries = 0;      // A-deliveries, all processes
   std::vector<std::size_t> deliveries;   // [1..n]; [0] unused
   bool prefix_consistent = false;        // Uniform Total Order held
+  // Ordering-pipeline counters (id-ordering stacks only; zero for kMsgs).
+  std::uint64_t instances_completed = 0;  // max over processes
+  std::size_t pipeline_high_water = 0;    // max in-flight, max over procs
+  std::uint64_t ids_deduplicated = 0;     // summed over processes
 };
 
 class Cluster {

@@ -141,6 +141,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   res.wire_bytes_sent = stats.wire_bytes_sent;
   res.consensus_rounds = stats.consensus_rounds;
   res.proposals_refused = stats.proposals_refused;
+  res.instances_completed = stats.instances_completed;
+  res.pipeline_high_water = stats.pipeline_high_water;
+  res.ids_deduplicated = stats.ids_deduplicated;
   return res;
 }
 

@@ -37,6 +37,8 @@ struct ExperimentConfig {
   /// or loopback TCP sockets. The code path is identical.
   runtime::HostKind host = runtime::HostKind::kSim;
   net::NetModel model = net::NetModel::setup1();  // kSim only
+  /// Full stack selection, including the ordering pipeline window
+  /// (`stack.pipeline_depth`; 1 = the paper's sequential Algorithm 1).
   abcast::StackConfig stack = {};
 
   std::size_t payload_bytes = 1;
@@ -73,6 +75,11 @@ struct ExperimentResult {
   // Protocol counters summed over processes.
   std::uint64_t consensus_rounds = 0;
   std::uint64_t proposals_refused = 0;  // nack/⊥ caused by rcv
+
+  // Ordering-pipeline counters (see ClusterStats; zero for kMsgs).
+  std::uint64_t instances_completed = 0;  // max over processes
+  std::size_t pipeline_high_water = 0;    // max over processes
+  std::uint64_t ids_deduplicated = 0;     // summed over processes
 };
 
 /// Runs one experiment to completion and returns its measurements.

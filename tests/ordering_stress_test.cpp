@@ -121,5 +121,215 @@ TEST_P(OrderingStress, RandomInterleavingsDeliverSpecOrder) {
 INSTANTIATE_TEST_SUITE_P(Seeds, OrderingStress,
                          ::testing::Range<std::uint64_t>(1, 21));
 
+// ------------------------------------------------- pipelined (window > 1)
+
+/// Fixture around a windowed core that records proposals and deliveries
+/// and checks the proposal-exclusion invariant: an id may only be
+/// re-proposed after the instance that carried it has closed.
+struct PipelinedFixture {
+  explicit PipelinedFixture(std::uint32_t window)
+      : core(
+            {
+                .start_instance =
+                    [this](consensus::InstanceId k, const IdSet& v) {
+                      EXPECT_FALSE(v.empty());
+                      for (const MessageId& id : v) {
+                        const auto it = proposed_in.find(id);
+                        if (it != proposed_in.end()) {
+                          EXPECT_LE(it->second, core.instances_completed())
+                              << "id re-proposed while its instance was "
+                                 "still open";
+                        }
+                        proposed_in[id] = k;
+                      }
+                      proposals.emplace_back(k, v);
+                    },
+                .adeliver =
+                    [this](const MessageId& id, BytesView) {
+                      delivered.push_back(id);
+                    },
+            },
+            window) {}
+
+  void rdeliver(const MessageId& id) { core.on_rdeliver(id, Bytes{}); }
+
+  OrderingCore core;
+  std::vector<std::pair<consensus::InstanceId, IdSet>> proposals;
+  std::vector<MessageId> delivered;
+  std::map<MessageId, consensus::InstanceId> proposed_in;
+};
+
+TEST(PipelinedOrdering, WindowOpensInstancesWithoutWaitingForDecisions) {
+  PipelinedFixture f(/*window=*/3);
+  f.rdeliver({1, 1});
+  f.rdeliver({2, 1});
+  f.rdeliver({3, 1});
+  // Three ids, three concurrent instances — each id proposed exactly once.
+  ASSERT_EQ(f.proposals.size(), 3u);
+  EXPECT_EQ(f.proposals[0].second, IdSet::from_unsorted({{1, 1}}));
+  EXPECT_EQ(f.proposals[1].second, IdSet::from_unsorted({{2, 1}}));
+  EXPECT_EQ(f.proposals[2].second, IdSet::from_unsorted({{3, 1}}));
+  EXPECT_EQ(f.core.instances_in_flight(), 3u);
+  EXPECT_EQ(f.core.inflight_high_water(), 3u);
+  // The window is full: a fourth id must wait.
+  f.rdeliver({4, 1});
+  EXPECT_EQ(f.proposals.size(), 3u);
+  // A decision closes instance 1 and frees a slot for the waiting id.
+  f.core.on_decision(1, IdSet::from_unsorted({{1, 1}}));
+  ASSERT_EQ(f.proposals.size(), 4u);
+  EXPECT_EQ(f.proposals[3].first, 4u);
+  EXPECT_EQ(f.proposals[3].second, IdSet::from_unsorted({{4, 1}}));
+}
+
+TEST(PipelinedOrdering, OutOfOrderDecisionsAcrossFullWindow) {
+  PipelinedFixture f(/*window=*/4);
+  for (std::uint64_t i = 1; i <= 4; ++i) f.rdeliver({1, i});
+  ASSERT_EQ(f.proposals.size(), 4u);
+  EXPECT_EQ(f.core.instances_in_flight(), 4u);
+  // Decisions arrive in fully reversed order: everything buffers until
+  // instance 1's decision unblocks the chain.
+  f.core.on_decision(4, IdSet::from_unsorted({{1, 4}}));
+  f.core.on_decision(3, IdSet::from_unsorted({{1, 3}}));
+  f.core.on_decision(2, IdSet::from_unsorted({{1, 2}}));
+  EXPECT_TRUE(f.delivered.empty());
+  EXPECT_EQ(f.core.instances_completed(), 0u);
+  f.core.on_decision(1, IdSet::from_unsorted({{1, 1}}));
+  EXPECT_EQ(f.delivered, (std::vector<MessageId>{
+                             {1, 1}, {1, 2}, {1, 3}, {1, 4}}));
+  EXPECT_EQ(f.core.instances_completed(), 4u);
+  EXPECT_EQ(f.core.instances_in_flight(), 0u);
+}
+
+TEST(PipelinedOrdering, OverlappingDecisionsDeliverExactlyOnce) {
+  // Another process grouped {a,b} into instance 1 while we proposed {a}
+  // and {b} separately; instance 2 then decides our {b} again. The
+  // duplicate is skipped at apply time — exactly-once delivery.
+  PipelinedFixture f(/*window=*/2);
+  const MessageId a{1, 1}, b{2, 1};
+  f.rdeliver(a);
+  f.rdeliver(b);
+  ASSERT_EQ(f.proposals.size(), 2u);
+  f.core.on_decision(1, IdSet::from_unsorted({a, b}));
+  f.core.on_decision(2, IdSet::from_unsorted({b}));
+  EXPECT_EQ(f.delivered, (std::vector<MessageId>{a, b}));
+  EXPECT_EQ(f.core.ids_deduplicated(), 1u);
+  EXPECT_TRUE(f.core.unordered().empty());
+  EXPECT_EQ(f.core.instances_in_flight(), 0u);
+}
+
+TEST(PipelinedOrdering, LeftoversOfAClosedInstanceAreReproposed) {
+  // Our proposal for instance 1 loses: the decision carries a foreign
+  // id. Our id returns to the pool and rides a later instance.
+  PipelinedFixture f(/*window=*/2);
+  const MessageId ours{1, 1}, foreign{3, 7};
+  f.rdeliver(ours);
+  f.rdeliver({2, 1});
+  ASSERT_EQ(f.proposals.size(), 2u);
+  f.rdeliver(foreign);  // window full: not proposed yet
+  f.core.on_decision(1, IdSet::from_unsorted({foreign}));
+  // Instance 1 closed without ordering `ours`: it must be proposed again
+  // alongside the foreign-decision leftovers.
+  ASSERT_EQ(f.proposals.size(), 3u);
+  EXPECT_EQ(f.proposals[2].first, 3u);
+  EXPECT_EQ(f.proposals[2].second, IdSet::from_unsorted({ours}));
+  f.core.on_decision(2, IdSet::from_unsorted({{2, 1}}));
+  f.core.on_decision(3, IdSet::from_unsorted({ours}));
+  EXPECT_EQ(f.delivered, (std::vector<MessageId>{foreign, {2, 1}, ours}));
+  EXPECT_EQ(f.core.ids_deduplicated(), 0u);
+}
+
+TEST(PipelinedOrdering, SkipsInstancesWhoseDecisionAlreadyArrived) {
+  // Instance 2's decision arrives before we ever proposed anything.
+  // Proposals must skip 2 — its outcome is already fixed.
+  PipelinedFixture f(/*window=*/2);
+  f.core.on_decision(2, IdSet::from_unsorted({{9, 1}}));
+  f.rdeliver({1, 1});
+  f.rdeliver({1, 2});
+  ASSERT_EQ(f.proposals.size(), 2u);
+  EXPECT_EQ(f.proposals[0].first, 1u);
+  EXPECT_EQ(f.proposals[1].first, 3u);
+}
+
+/// Randomized pipelined run: decisions may overlap (an id decided in one
+/// instance appears again in a later one, as happens when processes group
+/// ids into different instance numbers). Delivery must be the
+/// concatenation of the decision sets with duplicates skipped, exactly
+/// once, for every window size.
+class PipelinedStress
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
+
+TEST_P(PipelinedStress, OverlappingDecisionsAnyWindowDeliverSpecOrder) {
+  Rng rng(std::get<0>(GetParam()));
+  const auto window = static_cast<std::uint32_t>(std::get<1>(GetParam()));
+  Script script = make_script(rng, 12, 4);
+  // Inject overlap: ~1/3 of instances additionally re-decide an id from
+  // an earlier instance.
+  std::vector<MessageId> all_ids = script.rdeliver_order;
+  for (std::size_t k = 1; k < script.decisions.size(); ++k) {
+    if (!rng.next_bool(0.33)) continue;
+    const IdSet& earlier =
+        script.decisions[rng.next_below(static_cast<std::uint32_t>(k))];
+    script.decisions[k].insert(
+        earlier.ids()[rng.next_below(
+            static_cast<std::uint32_t>(earlier.size()))]);
+  }
+
+  std::size_t expected_dups = 0;
+  std::vector<MessageId> expected;
+  {
+    std::unordered_set<MessageId> seen;
+    for (const IdSet& set : script.decisions) {
+      for (const MessageId& id : set) {
+        if (seen.insert(id).second)
+          expected.push_back(id);
+        else
+          ++expected_dups;
+      }
+    }
+  }
+
+  PipelinedFixture f(window);
+  std::size_t next_rdeliver = 0;
+  std::size_t next_decision = 0;
+  while (next_rdeliver < script.rdeliver_order.size() ||
+         next_decision < script.decisions.size()) {
+    if (next_rdeliver < script.rdeliver_order.size() &&
+        (next_decision >= script.decisions.size() || rng.next_bool(0.7))) {
+      f.rdeliver(script.rdeliver_order[next_rdeliver++]);
+    } else if (rng.next_bool(0.3) &&
+               next_decision + 1 < script.decisions.size()) {
+      f.core.on_decision(
+          static_cast<consensus::InstanceId>(next_decision + 2),
+          script.decisions[next_decision + 1]);
+      f.core.on_decision(
+          static_cast<consensus::InstanceId>(next_decision + 1),
+          script.decisions[next_decision]);
+      next_decision += 2;
+    } else {
+      f.core.on_decision(
+          static_cast<consensus::InstanceId>(next_decision + 1),
+          script.decisions[next_decision]);
+      next_decision += 1;
+    }
+  }
+
+  EXPECT_EQ(f.delivered, expected);
+  EXPECT_EQ(f.core.ids_deduplicated(), expected_dups);
+  EXPECT_GE(f.core.instances_completed(), script.decisions.size());
+  EXPECT_TRUE(f.core.unordered().empty());
+  EXPECT_FALSE(f.core.blocked_head().has_value());
+  EXPECT_LE(f.core.inflight_high_water(), window);
+  if (window > 1) {
+    EXPECT_GE(f.core.inflight_high_water(), 1u);
+  }
+  for (std::size_t i = 1; i < f.proposals.size(); ++i)
+    EXPECT_GT(f.proposals[i].first, f.proposals[i - 1].first);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SeedsAndWindows, PipelinedStress,
+    ::testing::Combine(::testing::Range<std::uint64_t>(1, 11),
+                       ::testing::Values(1, 2, 4, 8)));
+
 }  // namespace
 }  // namespace ibc::core

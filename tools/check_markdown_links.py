@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Check that intra-repo markdown links resolve.
+
+Scans every tracked *.md file for inline links `[text](target)` and image
+links, skips external targets (http/https/mailto) and pure anchors, and
+verifies that the referenced file exists relative to the linking file (or
+the repo root for absolute-style `/path` targets). Exits non-zero listing
+every broken link, so CI fails when docs drift.
+
+Usage: tools/check_markdown_links.py [repo_root]
+"""
+
+import os
+import re
+import sys
+
+# Inline links/images: [text](target) / ![alt](target). Reference-style
+# definitions `[label]: target` are rare here and intentionally ignored.
+LINK_RE = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+SKIP_DIRS = {".git", "build", ".claude"}
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(root, path):
+    broken = []
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, start=1):
+            for match in LINK_RE.finditer(line):
+                target = match.group(1)
+                if target.startswith(SKIP_PREFIXES):
+                    continue
+                file_part = target.split("#", 1)[0]
+                if not file_part:  # pure in-page anchor
+                    continue
+                if file_part.startswith("/"):
+                    resolved = os.path.join(root, file_part.lstrip("/"))
+                else:
+                    resolved = os.path.join(os.path.dirname(path), file_part)
+                if not os.path.exists(resolved):
+                    broken.append((lineno, target))
+    return broken
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    failures = 0
+    checked = 0
+    for path in sorted(markdown_files(root)):
+        checked += 1
+        for lineno, target in check_file(root, path):
+            rel = os.path.relpath(path, root)
+            print(f"{rel}:{lineno}: broken link -> {target}")
+            failures += 1
+    print(f"checked {checked} markdown files, {failures} broken link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
