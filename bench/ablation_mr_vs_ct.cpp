@@ -8,7 +8,7 @@
 // the resilience each variant retains.
 #include <vector>
 
-#include "bench_common.hpp"
+#include "workload/sweep.hpp"
 #include "consensus/consensus.hpp"
 
 int main(int argc, char** argv) {
@@ -22,13 +22,13 @@ int main(int argc, char** argv) {
     workload::Series mr{"Indirect MR (f < n/3)", {}};
     for (const double tput : tputs) {
       abcast::StackConfig ct_cfg =
-          bench::indirect_ct(model, abcast::RbKind::kFloodN2);
+          workload::indirect_ct(model, abcast::RbKind::kFloodN2);
       abcast::StackConfig mr_cfg = ct_cfg;
       mr_cfg.algo = abcast::ConsensusAlgo::kMr;
       ct.values.push_back(
-          bench::latency_point(n, model, ct_cfg, 1, tput));
+          workload::latency_point(n, model, ct_cfg, 1, tput));
       mr.values.push_back(
-          bench::latency_point(n, model, mr_cfg, 1, tput));
+          workload::latency_point(n, model, mr_cfg, 1, tput));
     }
     char title[160];
     std::snprintf(title, sizeof title,

@@ -9,7 +9,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_common.hpp"
+#include "workload/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibc;
@@ -47,8 +47,8 @@ int main(int argc, char** argv) {
       cfg.n = n;
       cfg.model = model;
       cfg.stack = k.kind == abcast::RbKind::kUniform
-                      ? bench::ids_plain_ct(k.kind)
-                      : bench::indirect_ct(model, k.kind);
+                      ? workload::ids_plain_ct(k.kind)
+                      : workload::indirect_ct(model, k.kind);
       cfg.payload_bytes = 64;
       cfg.throughput_msgs_per_sec = 100;
       cfg.warmup = seconds(1);

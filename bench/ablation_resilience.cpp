@@ -8,7 +8,7 @@
 #include <cstdio>
 #include <vector>
 
-#include "bench_common.hpp"
+#include "workload/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibc;
@@ -34,7 +34,7 @@ int main(int argc, char** argv) {
         workload::ExperimentConfig cfg;
         cfg.n = n;
         cfg.model = model;
-        cfg.stack = bench::indirect_ct(model, abcast::RbKind::kFloodN2);
+        cfg.stack = workload::indirect_ct(model, abcast::RbKind::kFloodN2);
         if (a == 1) cfg.stack.algo = abcast::ConsensusAlgo::kMr;
         cfg.payload_bytes = 16;
         cfg.throughput_msgs_per_sec = 100;

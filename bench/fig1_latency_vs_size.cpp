@@ -11,7 +11,7 @@
 // above 100 ms at 800 msg/s).
 #include <vector>
 
-#include "bench_common.hpp"
+#include "workload/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibc;
@@ -25,11 +25,11 @@ int main(int argc, char** argv) {
     workload::Series direct{"Consensus (on messages)", {}};
     for (const double size : sizes) {
       const auto payload = static_cast<std::size_t>(size);
-      indirect.values.push_back(bench::latency_point(
-          3, model, bench::indirect_ct(model, abcast::RbKind::kFloodN2),
+      indirect.values.push_back(workload::latency_point(
+          3, model, workload::indirect_ct(model, abcast::RbKind::kFloodN2),
           payload, tput));
-      direct.values.push_back(bench::latency_point(
-          3, model, bench::msgs_ct(abcast::RbKind::kFloodN2), payload,
+      direct.values.push_back(workload::latency_point(
+          3, model, workload::msgs_ct(abcast::RbKind::kFloodN2), payload,
           tput));
     }
     char title[128];

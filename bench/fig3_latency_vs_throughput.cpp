@@ -12,7 +12,7 @@
 // saturation (≤ ~1.3 ms at n=3, ≤ ~9.5 ms at n=5).
 #include <vector>
 
-#include "bench_common.hpp"
+#include "workload/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibc;
@@ -25,11 +25,11 @@ int main(int argc, char** argv) {
     workload::Series indirect{"Indirect consensus", {}};
     workload::Series faulty{"(Faulty) consensus on ids", {}};
     for (const double tput : tputs) {
-      indirect.values.push_back(bench::latency_point(
-          n, model, bench::indirect_ct(model, abcast::RbKind::kFloodN2), 1,
+      indirect.values.push_back(workload::latency_point(
+          n, model, workload::indirect_ct(model, abcast::RbKind::kFloodN2), 1,
           tput));
-      faulty.values.push_back(bench::latency_point(
-          n, model, bench::ids_plain_ct(abcast::RbKind::kFloodN2), 1,
+      faulty.values.push_back(workload::latency_point(
+          n, model, workload::ids_plain_ct(abcast::RbKind::kFloodN2), 1,
           tput));
     }
     char title[128];

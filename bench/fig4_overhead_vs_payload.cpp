@@ -7,7 +7,7 @@
 // at 400-800 msg/s.
 #include <vector>
 
-#include "bench_common.hpp"
+#include "workload/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibc;
@@ -21,11 +21,11 @@ int main(int argc, char** argv) {
     workload::Series faulty{"(Faulty) consensus on ids", {}};
     for (const double size : sizes) {
       const auto payload = static_cast<std::size_t>(size);
-      indirect.values.push_back(bench::latency_point(
-          5, model, bench::indirect_ct(model, abcast::RbKind::kFloodN2),
+      indirect.values.push_back(workload::latency_point(
+          5, model, workload::indirect_ct(model, abcast::RbKind::kFloodN2),
           payload, tput));
-      faulty.values.push_back(bench::latency_point(
-          5, model, bench::ids_plain_ct(abcast::RbKind::kFloodN2), payload,
+      faulty.values.push_back(workload::latency_point(
+          5, model, workload::ids_plain_ct(abcast::RbKind::kFloodN2), payload,
           tput));
     }
     char title[128];

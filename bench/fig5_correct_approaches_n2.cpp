@@ -9,7 +9,7 @@
 // message processing, but both flood O(n²) messages per broadcast.
 #include <vector>
 
-#include "bench_common.hpp"
+#include "workload/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibc;
@@ -23,11 +23,11 @@ int main(int argc, char** argv) {
     workload::Series urb{"Consensus w/ uniform rbcast", {}};
     for (const double size : sizes) {
       const auto payload = static_cast<std::size_t>(size);
-      indirect.values.push_back(bench::latency_point(
-          3, model, bench::indirect_ct(model, abcast::RbKind::kFloodN2),
+      indirect.values.push_back(workload::latency_point(
+          3, model, workload::indirect_ct(model, abcast::RbKind::kFloodN2),
           payload, tput));
-      urb.values.push_back(bench::latency_point(
-          3, model, bench::ids_plain_ct(abcast::RbKind::kUniform), payload,
+      urb.values.push_back(workload::latency_point(
+          3, model, workload::ids_plain_ct(abcast::RbKind::kUniform), payload,
           tput));
     }
     char title[160];

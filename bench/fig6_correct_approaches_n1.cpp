@@ -10,7 +10,7 @@
 // with throughput.
 #include <vector>
 
-#include "bench_common.hpp"
+#include "workload/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibc;
@@ -24,11 +24,11 @@ int main(int argc, char** argv) {
     workload::Series urb{"Consensus w/ uniform rbcast", {}};
     for (const double size : sizes) {
       const auto payload = static_cast<std::size_t>(size);
-      indirect.values.push_back(bench::latency_point(
-          3, model, bench::indirect_ct(model, abcast::RbKind::kFdBasedN),
+      indirect.values.push_back(workload::latency_point(
+          3, model, workload::indirect_ct(model, abcast::RbKind::kFdBasedN),
           payload, tput));
-      urb.values.push_back(bench::latency_point(
-          3, model, bench::ids_plain_ct(abcast::RbKind::kUniform), payload,
+      urb.values.push_back(workload::latency_point(
+          3, model, workload::ids_plain_ct(abcast::RbKind::kUniform), payload,
           tput));
     }
     char title[160];

@@ -7,7 +7,7 @@
 // but slightly better; over the O(n) broadcast it is much less affected.
 #include <vector>
 
-#include "bench_common.hpp"
+#include "workload/sweep.hpp"
 
 int main(int argc, char** argv) {
   using namespace ibc;
@@ -29,10 +29,10 @@ int main(int argc, char** argv) {
     workload::Series indirect{panel.label, {}};
     workload::Series urb{"Consensus w/ uniform rbcast", {}};
     for (const double tput : tputs) {
-      indirect.values.push_back(bench::latency_point(
-          3, model, bench::indirect_ct(model, panel.rb), 1, tput));
-      urb.values.push_back(bench::latency_point(
-          3, model, bench::ids_plain_ct(abcast::RbKind::kUniform), 1,
+      indirect.values.push_back(workload::latency_point(
+          3, model, workload::indirect_ct(model, panel.rb), 1, tput));
+      urb.values.push_back(workload::latency_point(
+          3, model, workload::ids_plain_ct(abcast::RbKind::kUniform), 1,
           tput));
     }
     char title[160];

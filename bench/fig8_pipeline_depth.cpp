@@ -22,14 +22,13 @@
 // 2 independently; the window overlaps those detours), and loopback
 // TCP. Run with --smoke for the CI-sized variant (sim panels only).
 #include <algorithm>
-#include <cstring>
 #include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "runtime/cluster.hpp"
-#include "workload/series.hpp"
+#include "workload/sweep.hpp"
 
 namespace {
 
@@ -180,10 +179,11 @@ void panel(workload::BenchReport& report, const char* title,
 
 int main(int argc, char** argv) {
   using namespace ibc;
-  bool smoke = false;
-  for (int i = 1; i < argc; ++i)
-    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  const bool smoke = workload::parse_smoke_flag(argc, argv);
   workload::BenchReport report("fig8_pipeline_depth", argc, argv);
+  report.meta("host", smoke ? "sim" : "sim + tcp");
+  report.meta("n", "3");
+  report.meta("stack", abcast::describe(stack_for(false)));
   const std::vector<double> windows = {1, 2, 4, 8};
 
   Scenario sim;

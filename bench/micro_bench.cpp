@@ -5,6 +5,9 @@
 // figure benches which measure the *modeled system*.
 #include <benchmark/benchmark.h>
 
+#include <map>
+
+#include "abcast/abcast_msgs.hpp"
 #include "core/id_set.hpp"
 #include "core/ordering.hpp"
 #include "sim/scheduler.hpp"
@@ -69,6 +72,65 @@ void BM_RcvCheck(benchmark::State& state) {
                           static_cast<std::int64_t>(count));
 }
 BENCHMARK(BM_RcvCheck)->Arg(4)->Arg(64)->Arg(1024);
+
+// The consensus-on-messages proposal cycle: insert a few fresh messages,
+// emit the canonical serialized backlog, then erase the decided ones.
+// BM_MsgSetEncodeRebuild is what AbcastMsgs::serialize_unordered used to
+// do — re-serialize the whole sorted map on every proposal, O(backlog
+// bytes). BM_MsgSetEncodeIncremental is the MsgSetEncoder path that
+// replaced it: the canonical bytes are maintained across mutations, so
+// a proposal is O(1) and only the mutations pay. The gap grows with the
+// standing backlog (state.range(0)) — exactly when the kMsgs stack is
+// under pressure.
+constexpr std::size_t kEncoderPayload = 64;
+constexpr int kEncoderChurn = 4;  // msgs inserted + erased per proposal
+
+void BM_MsgSetEncodeRebuild(benchmark::State& state) {
+  const auto backlog = static_cast<std::uint64_t>(state.range(0));
+  const Bytes payload(kEncoderPayload, 0x3C);
+  std::map<MessageId, Bytes> msgs;
+  for (std::uint64_t i = 0; i < backlog; ++i)
+    msgs.emplace(MessageId{static_cast<ProcessId>(1 + i % 5), i}, payload);
+  std::uint64_t next = backlog;
+  for (auto _ : state) {
+    for (int i = 0; i < kEncoderChurn; ++i)
+      msgs.emplace(MessageId{static_cast<ProcessId>(1 + next % 5), next},
+                   payload),
+          ++next;
+    Writer w;
+    w.u32(static_cast<std::uint32_t>(msgs.size()));
+    for (const auto& [id, p] : msgs) {
+      w.message_id(id);
+      w.blob(p);
+    }
+    benchmark::DoNotOptimize(w.take());
+    for (int i = 0; i < kEncoderChurn; ++i)
+      msgs.erase(MessageId{
+          static_cast<ProcessId>(1 + (next - 1 - i) % 5), next - 1 - i});
+  }
+}
+BENCHMARK(BM_MsgSetEncodeRebuild)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_MsgSetEncodeIncremental(benchmark::State& state) {
+  const auto backlog = static_cast<std::uint64_t>(state.range(0));
+  const Bytes payload(kEncoderPayload, 0x3C);
+  abcast::MsgSetEncoder encoder;
+  for (std::uint64_t i = 0; i < backlog; ++i)
+    encoder.insert(MessageId{static_cast<ProcessId>(1 + i % 5), i},
+                   payload);
+  std::uint64_t next = backlog;
+  for (auto _ : state) {
+    for (int i = 0; i < kEncoderChurn; ++i)
+      encoder.insert(
+          MessageId{static_cast<ProcessId>(1 + next % 5), next}, payload),
+          ++next;
+    benchmark::DoNotOptimize(to_bytes(encoder.value()));
+    for (int i = 0; i < kEncoderChurn; ++i)
+      encoder.erase(MessageId{
+          static_cast<ProcessId>(1 + (next - 1 - i) % 5), next - 1 - i});
+  }
+}
+BENCHMARK(BM_MsgSetEncodeIncremental)->Arg(16)->Arg(256)->Arg(4096);
 
 void BM_SchedulerThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -4,7 +4,8 @@ namespace ibc::abcast {
 
 AbcastIds::AbcastIds(runtime::Env& env, bcast::BroadcastService& bc,
                      consensus::Consensus& cons,
-                     std::uint32_t pipeline_depth)
+                     std::uint32_t pipeline_depth,
+                     const BatchConfig& batch)
     : env_(env),
       bc_(bc),
       cons_(cons),
@@ -17,15 +18,15 @@ AbcastIds::AbcastIds(runtime::Env& env, bcast::BroadcastService& bc,
                       cons_.propose(k, proposal.to_value());
                     },
                 .adeliver =
-                    [this](const MessageId& id, BytesView payload) {
+                    [this](const MessageId& id, const Payload& payload) {
                       fire_deliver(id, payload);
                     },
             },
-            pipeline_depth) {
-  bc_.subscribe([this](ProcessId, BytesView wire) {
-    Reader r(wire);
-    const MessageId id = r.message_id();
-    core_.on_rdeliver(id, r.blob_view());
+            pipeline_depth),
+      batcher_(env, bc, batch) {
+  bc_.subscribe([this](ProcessId, const Payload& frame) {
+    BatchView batch_view = parse_batch(frame);
+    core_.on_rdeliver(batch_view.first, std::move(batch_view.payloads));
   });
   cons_.subscribe_decide([this](consensus::InstanceId k, BytesView value) {
     core_.on_decision(k, core::IdSet::from_value(value));
@@ -34,10 +35,7 @@ AbcastIds::AbcastIds(runtime::Env& env, bcast::BroadcastService& bc,
 
 MessageId AbcastIds::abroadcast(Bytes payload) {
   const MessageId id{env_.self(), ++next_seq_};
-  Writer w(payload.size() + 20);
-  w.message_id(id);
-  w.blob(payload);
-  bc_.broadcast(w.take());
+  batcher_.add(id, std::move(payload));
   return id;
 }
 

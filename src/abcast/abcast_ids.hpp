@@ -22,6 +22,7 @@
 
 #include <cstdint>
 
+#include "abcast/batcher.hpp"
 #include "bcast/broadcast.hpp"
 #include "consensus/consensus.hpp"
 #include "core/abcast_service.hpp"
@@ -33,11 +34,15 @@ namespace ibc::abcast {
 class AbcastIds final : public core::AbcastService {
  public:
   /// `pipeline_depth` = concurrent ordering instances (W); 1 = the
-  /// paper's sequential loop.
+  /// paper's sequential loop. `batch` controls sender-side payload
+  /// batching (default: none).
   AbcastIds(runtime::Env& env, bcast::BroadcastService& bc,
-            consensus::Consensus& cons, std::uint32_t pipeline_depth = 1);
+            consensus::Consensus& cons, std::uint32_t pipeline_depth = 1,
+            const BatchConfig& batch = {});
 
   MessageId abroadcast(Bytes payload) override;
+
+  const Batcher* batcher() const override { return &batcher_; }
 
   const core::OrderingCore& ordering() const { return core_; }
 
@@ -47,6 +52,7 @@ class AbcastIds final : public core::AbcastService {
   consensus::Consensus& cons_;
   std::uint64_t next_seq_ = 0;
   core::OrderingCore core_;
+  Batcher batcher_;
 };
 
 }  // namespace ibc::abcast

@@ -1,0 +1,102 @@
+// Sender-side payload batching for the atomic-broadcast layer.
+//
+// Every `abroadcast` used to pay one reliable-broadcast frame — (n-1)²
+// wire messages under RB-flood — plus one per-layer payload copy and one
+// entry in every consensus proposal. The Batcher amortizes all three: it
+// coalesces consecutive client payloads from one process into a single
+// R-broadcast *batch frame*, so a batch costs one broadcast, one id in
+// consensus, and one receive-side copy, regardless of how many client
+// messages ride it (Ring-Paxos-style batching; docs/PROTOCOL.md D5 has
+// the safety argument).
+//
+// Wire format of a batch frame:
+//
+//   message_id(first) | u32 count | blob(payload_1) … blob(payload_count)
+//
+// Constituent i (0-based) has the implied id {first.origin,
+// first.seq + i}: the owner assigns sequence numbers in call order, so a
+// batch always carries consecutive ids and the ids need not travel.
+// The *first* constituent's id doubles as the batch id — the only id the
+// ordering layers see; `parse_batch` slices the constituents back out of
+// the frame without copying.
+//
+// Flush policy: a batch is sent when it holds `max_msgs` messages, when
+// its serialized size reaches `max_bytes`, or when `max_delay` elapses
+// after the first message entered it. `max_msgs = 1` (the default)
+// flushes inside every add — bit-for-bit the unbatched Algorithm 1
+// behavior, with no timer ever armed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "bcast/broadcast.hpp"
+#include "runtime/env.hpp"
+#include "util/bytes.hpp"
+#include "util/payload.hpp"
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace ibc::abcast {
+
+struct BatchConfig {
+  /// Maximum client messages per batch frame. 1 = no batching (the
+  /// paper's one-frame-per-message dissemination, the default).
+  std::size_t max_msgs = 1;
+  /// Flush when the frame reaches this many payload bytes.
+  std::size_t max_bytes = 64 * 1024;
+  /// Flush an underfull batch this long after its first message; 0 means
+  /// only the size triggers flush.
+  Duration max_delay = microseconds(500);
+};
+
+/// One decoded batch frame: the batch id (= first constituent's id) and
+/// the constituent payloads as zero-copy slices of the frame.
+struct BatchView {
+  MessageId first;
+  std::vector<Payload> payloads;
+};
+
+/// Decodes a batch frame produced by `Batcher`. The returned payloads
+/// share `frame`'s storage.
+BatchView parse_batch(const Payload& frame);
+
+class Batcher {
+ public:
+  Batcher(runtime::Env& env, bcast::BroadcastService& rb,
+          const BatchConfig& config);
+
+  /// Queues `(id, payload)` for dissemination and flushes per policy.
+  /// Ids must arrive with consecutive sequence numbers per process —
+  /// guaranteed when the owner assigns them in call order.
+  void add(const MessageId& id, Bytes payload);
+
+  /// Sends the pending batch now (no-op when empty).
+  void flush();
+
+  std::size_t pending_msgs() const { return pending_.size(); }
+
+  // Dissemination counters.
+  std::uint64_t batches_sent() const { return batches_sent_; }
+  std::uint64_t msgs_sent() const { return msgs_sent_; }
+
+  const BatchConfig& config() const { return config_; }
+
+ private:
+  void arm_timer();
+
+  runtime::Env& env_;
+  bcast::BroadcastService& rb_;
+  BatchConfig config_;
+
+  MessageId first_ = {};        // batch id; valid while pending non-empty
+  std::vector<Bytes> pending_;  // payloads of the open batch, in order
+  std::size_t pending_bytes_ = 0;  // payload bytes in the open batch
+  runtime::TimerId timer_ = 0;     // 0 = not armed
+
+  std::uint64_t batches_sent_ = 0;
+  std::uint64_t msgs_sent_ = 0;
+};
+
+}  // namespace ibc::abcast

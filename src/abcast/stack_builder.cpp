@@ -19,6 +19,8 @@ std::string describe(const StackConfig& config) {
   }
   if (config.pipeline_depth > 1)
     out += " [W=" + std::to_string(config.pipeline_depth) + "]";
+  if (config.batch.max_msgs > 1)
+    out += " [B=" + std::to_string(config.batch.max_msgs) + "]";
   if (!is_correct_stack(config)) out += " [FAULTY]";
   return out;
 }
@@ -76,7 +78,8 @@ ProcessStack::ProcessStack(runtime::Host& host, ProcessId p,
           stack_, runtime::kLayerConsensus, *fd_, config.indirect);
     }
     abcast_ = std::make_unique<core::AbcastIndirect>(
-        env, *bcast_, *indirect_consensus_, config.pipeline_depth);
+        env, *bcast_, *indirect_consensus_, config.pipeline_depth,
+        config.batch);
     return;
   }
 
@@ -88,11 +91,12 @@ ProcessStack::ProcessStack(runtime::Host& host, ProcessId p,
         stack_, runtime::kLayerConsensus, *fd_);
   }
   if (config.variant == Variant::kMsgs) {
-    abcast_ =
-        std::make_unique<AbcastMsgs>(env, *bcast_, *plain_consensus_);
+    abcast_ = std::make_unique<AbcastMsgs>(env, *bcast_, *plain_consensus_,
+                                           config.batch);
   } else {
     abcast_ = std::make_unique<AbcastIds>(env, *bcast_, *plain_consensus_,
-                                          config.pipeline_depth);
+                                          config.pipeline_depth,
+                                          config.batch);
   }
 }
 

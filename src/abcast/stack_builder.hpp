@@ -20,6 +20,7 @@
 
 #include "abcast/abcast_ids.hpp"
 #include "abcast/abcast_msgs.hpp"
+#include "abcast/batcher.hpp"
 #include "bcast/rb_fd.hpp"
 #include "bcast/rb_flood.hpp"
 #include "bcast/urb.hpp"
@@ -56,6 +57,11 @@ struct StackConfig {
   /// has no id-ordering queue and ignores it). See docs/PROTOCOL.md for
   /// the safety argument.
   std::uint32_t pipeline_depth = 1;
+  /// Sender-side payload batching (`max_msgs` / `max_bytes` /
+  /// `max_delay`). The default `max_msgs = 1` disables batching — every
+  /// abroadcast is one R-broadcast frame, the paper's Algorithm 1. See
+  /// docs/PROTOCOL.md D5.
+  BatchConfig batch = {};
 };
 
 /// One-line human description, e.g. "indirect-CT + RB(n^2)" or
@@ -88,6 +94,9 @@ class ProcessStack {
   /// Algorithm-1 ordering state; nullptr for the kMsgs variant (which
   /// has no id-ordering queue).
   const core::OrderingCore* ordering() const;
+
+  /// The abcast layer's sender-side batcher (dissemination counters).
+  const Batcher* batcher() const { return abcast_->batcher(); }
 
   /// Engine counters regardless of variant.
   const consensus::Consensus::Stats& consensus_stats() const;

@@ -14,20 +14,29 @@
 //
 // All implementations deliver each message at most once per process and
 // tag deliveries with the broadcast's origin.
+//
+// Zero-copy contract: a delivery hands subscribers a `Payload` — a
+// ref-counted view of the one copy this layer made at the transport
+// boundary (counted in `payload_bytes_copied`). Subscribers that only
+// read can declare a `BytesView` parameter (Payload converts);
+// subscribers that retain the bytes keep the Payload and share the
+// storage instead of copying again.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/payload.hpp"
 #include "util/types.hpp"
 
 namespace ibc::bcast {
 
 class BroadcastService {
  public:
-  /// (origin, payload) — payload view valid only during the call.
-  using DeliverFn = std::function<void(ProcessId, BytesView)>;
+  /// (origin, payload) — the Payload may be retained past the call.
+  using DeliverFn = std::function<void(ProcessId, const Payload&)>;
 
   virtual ~BroadcastService() = default;
 
@@ -38,13 +47,29 @@ class BroadcastService {
   /// registration order).
   void subscribe(DeliverFn fn) { subscribers_.push_back(std::move(fn)); }
 
+  /// Bytes this layer copied into owned payload storage — once per
+  /// R-delivery, at the transport boundary; every layer above shares
+  /// that copy by reference.
+  std::uint64_t payload_bytes_copied() const {
+    return payload_bytes_copied_;
+  }
+
  protected:
-  void deliver(ProcessId origin, BytesView payload) const {
+  void deliver(ProcessId origin, const Payload& payload) const {
     for (const DeliverFn& fn : subscribers_) fn(origin, payload);
+  }
+
+  /// Copies a transient transport view into shared storage, counting the
+  /// bytes. Every implementation funnels its receive-side copy through
+  /// here.
+  Payload copy_payload(BytesView v) {
+    payload_bytes_copied_ += v.size();
+    return Payload::copy_of(v);
   }
 
  private:
   std::vector<DeliverFn> subscribers_;
+  std::uint64_t payload_bytes_copied_ = 0;
 };
 
 }  // namespace ibc::bcast

@@ -17,7 +17,7 @@ void RbFdBased::broadcast(Bytes payload) {
   w.message_id(key);
   w.blob(payload);
   const Bytes wire = w.take();
-  store_.emplace(key, std::move(payload));
+  store_.emplace(key, Payload::wrap(std::move(payload)));
   ctx_.send(ctx_.self(), wire);
   ctx_.send_to_others(wire);
 }
@@ -27,17 +27,22 @@ void RbFdBased::on_message(ProcessId from, Reader& r) {
   const BytesView payload = r.blob_view();
 
   if (key.origin == ctx_.self()) {
-    if (from == ctx_.self()) deliver(key.origin, payload);
+    // Deliver our own stored copy — the loopback frame carries the same
+    // bytes, so no second copy is needed.
+    const auto it = store_.find(key);
+    if (from == ctx_.self() && it != store_.end())
+      deliver(key.origin, it->second);
     return;
   }
-  const auto [it, inserted] = store_.emplace(key, to_bytes(payload));
-  if (!inserted) return;  // duplicate (relay of something we have)
+  if (store_.contains(key)) return;  // duplicate (relay of something we have)
+  const auto [it, inserted] = store_.emplace(key, copy_payload(payload));
+  (void)inserted;
 
   // If the origin is already suspected, this copy travelled through a
   // relay or raced the crash: forward it so Agreement doesn't depend on
   // who happened to receive the origin's direct copy.
-  if (detector_.is_suspected(key.origin)) relay(key, payload, from);
-  deliver(key.origin, payload);
+  if (detector_.is_suspected(key.origin)) relay(key, it->second, from);
+  deliver(key.origin, it->second);
 }
 
 void RbFdBased::relay(const MessageId& key, BytesView payload,

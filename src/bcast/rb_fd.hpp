@@ -41,7 +41,8 @@ class RbFdBased final : public runtime::Layer, public BroadcastService {
   fd::FailureDetector& detector_;
   std::uint64_t next_seq_ = 0;
   /// Received payloads by key, retained for suspicion-triggered relays.
-  std::unordered_map<MessageId, Bytes> store_;
+  /// Shared views: deliveries and relays reference the same storage.
+  std::unordered_map<MessageId, Payload> store_;
 };
 
 }  // namespace ibc::bcast

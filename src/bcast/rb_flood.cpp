@@ -14,8 +14,11 @@ void RbFlood::broadcast(Bytes payload) {
   // The origin's own copy goes through the loopback path like everyone
   // else's, so its delivery pays the same (simulated) cost and happens
   // asynchronously — matching a real stack where the layer hands the
-  // message to itself through the transport.
+  // message to itself through the transport. The payload is retained
+  // here so the loopback delivery reuses it instead of copying the
+  // frame a second time.
   seen_.insert(key);
+  own_.emplace(key, Payload::wrap(std::move(payload)));
   ctx_.send(ctx_.self(), wire);
   ctx_.send_to_others(wire);
 }
@@ -25,8 +28,17 @@ void RbFlood::on_message(ProcessId from, Reader& r) {
   const BytesView payload = r.blob_view();
 
   if (key.origin == ctx_.self()) {
-    // Our own broadcast coming back (loopback or relay): deliver once.
-    if (from == ctx_.self()) deliver(key.origin, payload);
+    // Our own broadcast coming back (loopback or relay): deliver once,
+    // from the payload stored at broadcast() — the loopback frame
+    // carries the same bytes, so no second copy is needed.
+    if (from == ctx_.self()) {
+      const auto it = own_.find(key);
+      if (it != own_.end()) {
+        const Payload stored = std::move(it->second);
+        own_.erase(it);
+        deliver(key.origin, stored);
+      }
+    }
     return;
   }
   if (!seen_.insert(key).second) return;  // duplicate
@@ -41,7 +53,7 @@ void RbFlood::on_message(ProcessId from, Reader& r) {
     if (p != ctx_.self() && p != key.origin && p != from)
       ctx_.send(p, wire);
   }
-  deliver(key.origin, payload);
+  deliver(key.origin, copy_payload(payload));
 }
 
 }  // namespace ibc::bcast

@@ -16,10 +16,12 @@
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
 #include <unordered_set>
 
 #include "bcast/broadcast.hpp"
 #include "runtime/stack.hpp"
+#include "util/payload.hpp"
 
 namespace ibc::bcast {
 
@@ -36,6 +38,10 @@ class RbFlood final : public runtime::Layer, public BroadcastService {
   runtime::LayerContext ctx_;
   std::uint64_t next_seq_ = 0;
   std::unordered_set<MessageId> seen_;
+  /// Own broadcasts awaiting loopback delivery: the payload retained at
+  /// broadcast() so the delivery shares it instead of re-copying the
+  /// frame (consumed, and the entry erased, on loopback receipt).
+  std::unordered_map<MessageId, Payload> own_;
 };
 
 }  // namespace ibc::bcast

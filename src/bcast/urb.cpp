@@ -9,7 +9,7 @@ UrbBroadcast::UrbBroadcast(runtime::Stack& stack,
 void UrbBroadcast::broadcast(Bytes payload) {
   const MessageId key{ctx_.self(), ++next_seq_};
   Pending& p = state_[key];
-  p.payload = std::move(payload);
+  p.payload = Payload::wrap(std::move(payload));  // own copy, no duplicate
   p.forwarders.insert(ctx_.self());
   forward(key, p.payload);
   // n == 1: we are our own majority.
@@ -39,7 +39,7 @@ void UrbBroadcast::account(const MessageId& key, ProcessId forwarder,
     // First time we hear of this message: store and re-forward to all
     // (our forward is what makes delivery by anyone imply delivery by
     // all correct processes).
-    p.payload = to_bytes(payload);
+    p.payload = copy_payload(payload);
     p.forwarders.insert(ctx_.self());
     forward(key, p.payload);
   }

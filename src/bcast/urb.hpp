@@ -38,7 +38,7 @@ class UrbBroadcast final : public runtime::Layer, public BroadcastService {
 
  private:
   struct Pending {
-    Bytes payload;
+    Payload payload;  // shared, immutable — one copy at first receipt
     std::unordered_set<ProcessId> forwarders;
     bool delivered = false;
   };

@@ -5,7 +5,8 @@ namespace ibc::core {
 AbcastIndirect::AbcastIndirect(runtime::Env& env,
                                bcast::BroadcastService& rb,
                                IndirectConsensus& ic,
-                               std::uint32_t pipeline_depth)
+                               std::uint32_t pipeline_depth,
+                               const abcast::BatchConfig& batch)
     : env_(env),
       rb_(rb),
       ic_(ic),
@@ -20,15 +21,17 @@ AbcastIndirect::AbcastIndirect(runtime::Env& env,
                       });
                     },
                 .adeliver =
-                    [this](const MessageId& id, BytesView payload) {
+                    [this](const MessageId& id, const Payload& payload) {
                       fire_deliver(id, payload);
                     },
             },
-            pipeline_depth) {
-  rb_.subscribe([this](ProcessId, BytesView wire) {
-    Reader r(wire);
-    const MessageId id = r.message_id();
-    core_.on_rdeliver(id, r.blob_view());
+            pipeline_depth),
+      batcher_(env, rb, batch) {
+  rb_.subscribe([this](ProcessId, const Payload& frame) {
+    // One batch frame = one ordering entry; the constituent payloads are
+    // zero-copy slices of the frame the broadcast layer copied once.
+    abcast::BatchView batch_view = abcast::parse_batch(frame);
+    core_.on_rdeliver(batch_view.first, std::move(batch_view.payloads));
   });
   ic_.subscribe_decide([this](consensus::InstanceId k, const IdSet& ids) {
     core_.on_decision(k, ids);
@@ -37,10 +40,7 @@ AbcastIndirect::AbcastIndirect(runtime::Env& env,
 
 MessageId AbcastIndirect::abroadcast(Bytes payload) {
   const MessageId id{env_.self(), ++next_seq_};
-  Writer w(payload.size() + 20);
-  w.message_id(id);
-  w.blob(payload);
-  rb_.broadcast(w.take());  // line 8: R-broadcast(m) to all
+  batcher_.add(id, std::move(payload));  // line 8: R-broadcast(m) to all
   return id;
 }
 

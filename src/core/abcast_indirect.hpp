@@ -7,6 +7,11 @@
 // A-delivered once its id reaches the head of the sequence *and* its
 // payload has been R-delivered.
 //
+// Dissemination goes through an `abcast::Batcher`: consecutive
+// abroadcasts may coalesce into one R-broadcast batch frame, and the
+// ordering then runs on *batch* ids (docs/PROTOCOL.md D5). The default
+// batch size of 1 is exactly the paper's one-frame-per-message loop.
+//
 // Correctness of the composition: indirect consensus's No loss property
 // guarantees some correct process holds msgs(v) whenever v is decided,
 // and reliable-broadcast Agreement then spreads those messages to every
@@ -17,6 +22,7 @@
 
 #include <cstdint>
 
+#include "abcast/batcher.hpp"
 #include "bcast/broadcast.hpp"
 #include "core/abcast_service.hpp"
 #include "core/indirect_consensus.hpp"
@@ -31,10 +37,14 @@ class AbcastIndirect final : public AbcastService {
   /// processes); `ic` an indirect consensus bound to the same stack.
   /// `pipeline_depth` = how many consensus instances the ordering core
   /// keeps in flight (W); 1 = the paper's sequential Algorithm 1.
+  /// `batch` controls sender-side payload batching (default: none).
   AbcastIndirect(runtime::Env& env, bcast::BroadcastService& rb,
-                 IndirectConsensus& ic, std::uint32_t pipeline_depth = 1);
+                 IndirectConsensus& ic, std::uint32_t pipeline_depth = 1,
+                 const abcast::BatchConfig& batch = {});
 
   MessageId abroadcast(Bytes payload) override;
+
+  const abcast::Batcher* batcher() const override { return &batcher_; }
 
   /// Algorithm-1 state (test and demo observability).
   const OrderingCore& ordering() const { return core_; }
@@ -45,6 +55,7 @@ class AbcastIndirect final : public AbcastService {
   IndirectConsensus& ic_;
   std::uint64_t next_seq_ = 0;
   OrderingCore core_;
+  abcast::Batcher batcher_;
 };
 
 }  // namespace ibc::core

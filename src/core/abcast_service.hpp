@@ -31,7 +31,12 @@
 #include <vector>
 
 #include "util/bytes.hpp"
+#include "util/payload.hpp"
 #include "util/types.hpp"
+
+namespace ibc::abcast {
+class Batcher;
+}  // namespace ibc::abcast
 
 namespace ibc::core {
 
@@ -41,7 +46,7 @@ namespace detail {
 /// service owns it; handles hold weak references, so a handle outliving
 /// the service unsubscribes into nothing instead of dangling.
 struct SubscriberRegistry {
-  using Fn = std::function<void(const MessageId&, BytesView)>;
+  using Fn = std::function<void(const MessageId&, const Payload&)>;
   struct Entry {
     std::uint64_t token = 0;
     Fn fn;
@@ -72,7 +77,7 @@ struct SubscriberRegistry {
     }
   }
 
-  void fire(const MessageId& id, BytesView payload) {
+  void fire(const MessageId& id, const Payload& payload) {
     ++firing_depth;
     // Indexed loop: callbacks may subscribe (append) reentrantly. Each
     // callback is invoked through a COPY: a reentrant subscribe can
@@ -137,8 +142,10 @@ class [[nodiscard]] Subscription {
 
 class AbcastService {
  public:
-  /// (id, payload) — delivery order is identical at all processes.
-  using DeliverFn = std::function<void(const MessageId&, BytesView)>;
+  /// (id, payload) — delivery order is identical at all processes. The
+  /// Payload is a shared view and may be retained past the callback;
+  /// subscribers that only read can declare a `BytesView` parameter.
+  using DeliverFn = std::function<void(const MessageId&, const Payload&)>;
 
   /// Identifies one subscription for `unsubscribe`. 0 is never issued.
   using SubscriberToken = std::uint64_t;
@@ -148,6 +155,11 @@ class AbcastService {
   /// Atomically broadcasts `payload`; returns the identifier assigned to
   /// the message (unique: this process id + a local sequence number).
   virtual MessageId abroadcast(Bytes payload) = 0;
+
+  /// The sender-side payload batcher, when this implementation
+  /// disseminates through one (all three stacks do); null otherwise.
+  /// Exposes the dissemination counters (`batches_sent`, …).
+  virtual const abcast::Batcher* batcher() const { return nullptr; }
 
   /// Registers a delivery callback for the lifetime of the service (or
   /// until `unsubscribe(token)`).
@@ -173,7 +185,7 @@ class AbcastService {
   }
 
  protected:
-  void fire_deliver(const MessageId& id, BytesView payload) const {
+  void fire_deliver(const MessageId& id, const Payload& payload) const {
     registry_->fire(id, payload);
   }
 

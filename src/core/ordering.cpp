@@ -14,9 +14,11 @@ OrderingCore::OrderingCore(Callbacks callbacks, std::uint32_t window)
   IBC_REQUIRE_MSG(window_ >= 1, "pipeline window must be at least 1");
 }
 
-void OrderingCore::on_rdeliver(const MessageId& id, BytesView payload) {
+void OrderingCore::on_rdeliver(const MessageId& id,
+                               std::vector<Payload> payloads) {
+  IBC_ASSERT_MSG(!payloads.empty(), "a batch carries at least one message");
   if (delivered_.contains(id) || received_.contains(id)) return;
-  received_.emplace(id, to_bytes(payload));
+  received_.emplace(id, std::move(payloads));
   // Line 13: only ids not already ordered become consensus candidates.
   if (!ordered_set_.contains(id)) {
     unordered_.insert(id);
@@ -97,7 +99,10 @@ void OrderingCore::maybe_start_instances() {
 }
 
 void OrderingCore::try_deliver() {
-  // Lines 23-25: deliver while the head's payload is available.
+  // Lines 23-25: deliver while the head's payload is available. A head
+  // that is a batch id expands in place: its constituents — consecutive
+  // ids from the head's origin — are A-delivered back-to-back, so the
+  // client-message order is the same at every process (D5).
   while (!ordered_.empty()) {
     const MessageId head = ordered_.front();
     const auto it = received_.find(head);
@@ -105,9 +110,13 @@ void OrderingCore::try_deliver() {
     ordered_.pop_front();
     ordered_set_.erase(head);
     delivered_.insert(head);
-    const Bytes payload = std::move(it->second);
+    const std::vector<Payload> payloads = std::move(it->second);
     received_.erase(it);
-    callbacks_.adeliver(head, payload);
+    msgs_delivered_ += payloads.size();
+    for (std::size_t i = 0; i < payloads.size(); ++i) {
+      callbacks_.adeliver(MessageId{head.origin, head.seq + i},
+                          payloads[i]);
+    }
   }
 }
 

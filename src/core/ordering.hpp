@@ -32,6 +32,16 @@
 // concatenation of the per-instance sequences. This is what keeps the
 // total order identical at every process under any window.
 //
+// Batching (docs/PROTOCOL.md D5): the ordering entries may be *batch*
+// ids — the id of the first message of a sender-side batch, standing for
+// `count` consecutive ids from the same origin. Consensus and the four
+// state variables operate on batch ids only; when a batch id reaches the
+// head of `ordered`, its constituents are A-delivered back-to-back in
+// sequence order — so the total order over client messages is the
+// batch order with each batch expanded in place, identical at every
+// process. An unbatched message is a batch of one, which makes the
+// default configuration exactly the paper's Algorithm 1.
+//
 // The class is transport- and consensus-agnostic: the owner wires
 // `start_instance` to an (indirect or plain) consensus propose and feeds
 // R-deliveries and decisions back in. `rcv` implements lines 9-10 and is
@@ -45,10 +55,12 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "consensus/consensus.hpp"
 #include "core/id_set.hpp"
 #include "util/bytes.hpp"
+#include "util/payload.hpp"
 
 namespace ibc::core {
 
@@ -58,18 +70,26 @@ class OrderingCore {
     /// Propose `proposal` in consensus instance `k`.
     std::function<void(consensus::InstanceId k, const IdSet& proposal)>
         start_instance;
-    /// A-deliver one message.
-    std::function<void(const MessageId&, BytesView)> adeliver;
+    /// A-deliver one message. The Payload is a shared view into the
+    /// R-delivered frame; it may be retained past the callback.
+    std::function<void(const MessageId&, const Payload&)> adeliver;
   };
 
   /// `window` = maximum number of concurrent consensus instances this
   /// process proposes in (W); 1 = the paper's sequential Algorithm 1.
   explicit OrderingCore(Callbacks callbacks, std::uint32_t window = 1);
 
-  /// Feed of R-deliveries (Algorithm 1 lines 11-14). Duplicate ids are
-  /// ignored (the broadcast layer already guarantees at-most-once; this
-  /// is defensive).
-  void on_rdeliver(const MessageId& id, BytesView payload);
+  /// Feed of R-deliveries (Algorithm 1 lines 11-14): a batch of
+  /// `payloads.size()` consecutive messages from one origin, identified
+  /// by its first message's id (`id`). Duplicate ids are ignored (the
+  /// broadcast layer already guarantees at-most-once; this is
+  /// defensive).
+  void on_rdeliver(const MessageId& id, std::vector<Payload> payloads);
+
+  /// Single-message convenience (a batch of one); copies `payload`.
+  void on_rdeliver(const MessageId& id, BytesView payload) {
+    on_rdeliver(id, std::vector<Payload>{Payload::copy_of(payload)});
+  }
 
   /// Feed of consensus decisions, any instance order.
   void on_decision(consensus::InstanceId k, const IdSet& ids);
@@ -81,7 +101,11 @@ class OrderingCore {
   // Observability.
   const IdSet& unordered() const { return unordered_; }
   std::size_t ordered_backlog() const { return ordered_.size(); }
+  /// Ordering entries (batch ids) A-delivered so far.
   std::size_t delivered_count() const { return delivered_.size(); }
+  /// Client messages A-delivered so far (≥ delivered_count(): every
+  /// batch expands to its constituents).
+  std::uint64_t msgs_delivered() const { return msgs_delivered_; }
   consensus::InstanceId instances_completed() const { return applied_k_; }
   /// Number of currently open instances (proposed, decision not yet
   /// applied). 0 or 1 at window 1.
@@ -107,8 +131,11 @@ class OrderingCore {
 
   Callbacks callbacks_;
   std::uint32_t window_ = 1;
-  std::unordered_map<MessageId, Bytes> received_;  // payload pending use
-  std::unordered_set<MessageId> delivered_;
+  /// Batch id -> constituent payloads (shared views of the R-delivered
+  /// frame), pending A-delivery.
+  std::unordered_map<MessageId, std::vector<Payload>> received_;
+  std::unordered_set<MessageId> delivered_;  // batch ids
+  std::uint64_t msgs_delivered_ = 0;
   IdSet unordered_;
   std::deque<MessageId> ordered_;
   std::unordered_set<MessageId> ordered_set_;  // mirror of ordered_

@@ -35,13 +35,14 @@ Cluster::Cluster(const ClusterOptions& options)
     Node node(this, p,
               std::make_unique<abcast::ProcessStack>(*host_, p, stack));
     // Built-in delivery recorder. Subscribed before the host starts, so
-    // no callback can race the registration even on TCP.
+    // no callback can race the registration even on TCP. The Payload is
+    // retained by reference — recording does not copy the bytes.
     if (options.record_deliveries) {
       node.stack_->abcast().subscribe(
-          [this, p](const MessageId& id, BytesView payload) {
+          [this, p](const MessageId& id, const Payload& payload) {
             const TimePoint at = host_->now();
             const std::scoped_lock lock(log_mu_);
-            logs_[p].push_back(Delivery{id, to_bytes(payload), at});
+            logs_[p].push_back(Delivery{id, payload, at});
           });
     }
     nodes_.push_back(std::move(node));
@@ -132,14 +133,22 @@ ClusterStats Cluster::stats() {
     std::uint64_t completed = 0;
     std::size_t high_water = 0;
     std::uint64_t deduped = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t batched_msgs = 0;
+    std::uint64_t copied = 0;
     const auto read_stats = [this, p, &engine, &completed, &high_water,
-                             &deduped] {
+                             &deduped, &batches, &batched_msgs, &copied] {
       engine = nodes_[p - 1].stack_->consensus_stats();
       if (const core::OrderingCore* ord = nodes_[p - 1].stack_->ordering()) {
         completed = ord->instances_completed();
         high_water = ord->inflight_high_water();
         deduped = ord->ids_deduplicated();
       }
+      if (const abcast::Batcher* b = nodes_[p - 1].stack_->batcher()) {
+        batches = b->batches_sent();
+        batched_msgs = b->msgs_sent();
+      }
+      copied = nodes_[p - 1].stack_->broadcast().payload_bytes_copied();
     };
     bool read = false;
     if (!host_->crashed(p)) {
@@ -159,7 +168,15 @@ ClusterStats Cluster::stats() {
     stats.instances_completed = std::max(stats.instances_completed, completed);
     stats.pipeline_high_water = std::max(stats.pipeline_high_water, high_water);
     stats.ids_deduplicated += deduped;
+    stats.batches_sent += batches;
+    stats.msgs_batched += batched_msgs;
+    stats.payload_bytes_copied += copied;
   }
+  stats.msgs_per_batch_avg =
+      stats.batches_sent == 0
+          ? 0.0
+          : static_cast<double>(stats.msgs_batched) /
+                static_cast<double>(stats.batches_sent);
   const runtime::HostCounters wire = host_->counters();
   stats.messages_sent = wire.messages_sent;
   stats.wire_bytes_sent = wire.wire_bytes_sent;

@@ -33,6 +33,7 @@
 #include "net/netmodel.hpp"
 #include "runtime/host.hpp"
 #include "util/bytes.hpp"
+#include "util/payload.hpp"
 #include "util/time.hpp"
 #include "util/types.hpp"
 
@@ -54,6 +55,10 @@ struct ClusterOptions {
   abcast::StackConfig stack = {};
   /// Ordering-window override; 0 = keep `stack.pipeline_depth`.
   std::uint32_t pipeline = 0;
+  /// Batch-size override; 0 = keep `stack.batch.max_msgs`.
+  std::size_t batch_msgs = 0;
+  /// Batch-delay override; negative = keep `stack.batch.max_delay`.
+  Duration batch_delay = -1;
   runtime::HostKind host = runtime::HostKind::kSim;
   net::NetModel model = net::NetModel::fast_test();  // kSim only
   std::vector<ClusterCrash> crashes;
@@ -61,8 +66,8 @@ struct ClusterOptions {
   /// per-process logs. On by default — it powers `log`, `delivered`,
   /// `prefix_consistent` and `run_until_quiesced`. Turn it off for
   /// measurement runs that keep their own records (the experiment
-  /// driver does): recording copies every payload and, on TCP,
-  /// serializes deliveries on one mutex.
+  /// driver does): recording retains a shared payload view (no copy)
+  /// and, on TCP, serializes deliveries on one mutex.
   bool record_deliveries = true;
 
   ClusterOptions& with_n(std::uint32_t value) {
@@ -86,11 +91,26 @@ struct ClusterOptions {
     pipeline = w;
     return *this;
   }
+  /// Sender-side payload batching: coalesce up to `max_msgs` consecutive
+  /// abroadcasts into one R-broadcast frame, flushing an underfull batch
+  /// after `max_delay`. 1 is the paper-faithful one-frame-per-message
+  /// dissemination (the default, via `StackConfig::batch`). Overrides
+  /// the stack config regardless of option order (see `effective_stack`).
+  ClusterOptions& batch_max_msgs(std::size_t max_msgs) {
+    batch_msgs = max_msgs;
+    return *this;
+  }
+  ClusterOptions& batch_max_delay(Duration max_delay) {
+    batch_delay = max_delay;
+    return *this;
+  }
   /// The stack config the cluster actually builds: `stack` with the
-  /// `pipeline_depth` override (if any) folded in.
+  /// `pipeline_depth` / batching overrides (if any) folded in.
   abcast::StackConfig effective_stack() const {
     abcast::StackConfig config = stack;
     if (pipeline != 0) config.pipeline_depth = pipeline;
+    if (batch_msgs != 0) config.batch.max_msgs = batch_msgs;
+    if (batch_delay >= 0) config.batch.max_delay = batch_delay;
     return config;
   }
   /// Sets the simulated network model (only the kSim host reads it;
@@ -131,14 +151,23 @@ struct ClusterStats {
   std::uint64_t instances_completed = 0;  // max over processes
   std::size_t pipeline_high_water = 0;    // max in-flight, max over procs
   std::uint64_t ids_deduplicated = 0;     // summed over processes
+  // Dissemination counters (docs/PROTOCOL.md D5).
+  std::uint64_t batches_sent = 0;         // R-broadcast frames, summed
+  std::uint64_t msgs_batched = 0;         // abroadcasts through batchers
+  double msgs_per_batch_avg = 0.0;        // msgs_batched / batches_sent
+  /// Bytes the deliver path copied into owned payload storage — once per
+  /// R-delivery at the broadcast layer; everything above shares that
+  /// copy by reference (summed over processes).
+  std::uint64_t payload_bytes_copied = 0;
 };
 
 class Cluster {
  public:
-  /// One recorded A-delivery.
+  /// One recorded A-delivery. The payload is a shared view of the
+  /// R-delivered frame — recording does not copy the bytes.
   struct Delivery {
     MessageId id;
-    Bytes payload;
+    Payload payload;
     TimePoint at = 0;
   };
 

@@ -1,0 +1,81 @@
+// Ref-counted immutable payload buffers for the zero-copy deliver path.
+//
+// A `Payload` is a view (offset + length) into shared, immutable storage.
+// Copying a Payload copies a pointer; `slice()` carves a sub-view out of
+// the same storage without touching the bytes. This is what lets one
+// R-delivered wire frame flow up through the broadcast layer, the
+// ordering core and the `ibc::Cluster` delivery log as a single
+// allocation: the frame is copied exactly once, at the transport
+// boundary, and every layer above holds a reference into that copy
+// (`BroadcastService::payload_bytes_copied` counts those boundary
+// copies so benches can verify the claim).
+//
+// A Payload converts implicitly to `BytesView`, so code that only reads
+// bytes — Reader, subscribers declared with a BytesView parameter — works
+// unchanged; code that wants to *retain* the bytes stores the Payload
+// itself instead of calling `to_bytes`.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "util/bytes.hpp"
+
+namespace ibc {
+
+class Payload {
+ public:
+  /// Empty payload (no storage).
+  Payload() = default;
+
+  /// Copies `v` into fresh shared storage — the one deliberate copy at an
+  /// ownership boundary (e.g. a transport buffer that dies after the
+  /// receive callback returns).
+  static Payload copy_of(BytesView v) {
+    return Payload(std::make_shared<const Bytes>(v.begin(), v.end()));
+  }
+
+  /// Takes ownership of an existing buffer without copying (e.g. the
+  /// sender's own serialized frame).
+  static Payload wrap(Bytes bytes) {
+    return Payload(std::make_shared<const Bytes>(std::move(bytes)));
+  }
+
+  /// Sub-view of the same storage; no bytes move. `offset + length` must
+  /// lie within this view.
+  Payload slice(std::size_t offset, std::size_t length) const {
+    IBC_REQUIRE_MSG(offset + length <= len_, "Payload::slice out of range");
+    Payload out = *this;
+    out.off_ += offset;
+    out.len_ = length;
+    return out;
+  }
+
+  const std::uint8_t* data() const {
+    return buf_ ? buf_->data() + off_ : nullptr;
+  }
+  std::size_t size() const { return len_; }
+  bool empty() const { return len_ == 0; }
+
+  BytesView view() const { return BytesView(data(), len_); }
+  operator BytesView() const { return view(); }  // NOLINT(google-explicit-constructor)
+
+  /// Bytewise value equality (the storage identity is irrelevant).
+  friend bool operator==(const Payload& a, const Payload& b) {
+    return bytes_equal(a.view(), b.view());
+  }
+
+  /// How many Payload views share this storage (diagnostics/tests).
+  long use_count() const { return buf_.use_count(); }
+
+ private:
+  explicit Payload(std::shared_ptr<const Bytes> buf)
+      : len_(buf->size()), buf_(std::move(buf)) {}
+
+  std::size_t off_ = 0;
+  std::size_t len_ = 0;
+  std::shared_ptr<const Bytes> buf_;
+};
+
+}  // namespace ibc

@@ -35,9 +35,11 @@ class Source {
   void schedule_next() {
     const auto gap = static_cast<Duration>(
         env_.rng().next_exponential(mean_gap_ns_));
-    const TimePoint at = env_.now() + std::max<Duration>(gap, 1);
-    if (at >= stop_at_) return;
-    env_.set_timer(at - env_.now(), [this] {
+    // Compute the delay once: on the wall-clock TCP host a second now()
+    // read can land *after* `at`, which would make the delay negative.
+    const Duration delay = std::max<Duration>(gap, 1);
+    if (env_.now() + delay >= stop_at_) return;
+    env_.set_timer(delay, [this] {
       const MessageId id = abcast_.abroadcast(payload_);
       {
         const std::scoped_lock lock(rec_mu_);
@@ -136,6 +138,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           ? static_cast<double>(res.broadcasts_measured) /
                 to_sec(config.measure)
           : 0.0;
+  res.delivered_throughput =
+      config.measure > 0
+          ? static_cast<double>(res.broadcasts_measured - res.undelivered) /
+                to_sec(config.measure)
+          : 0.0;
   const ClusterStats stats = cluster.stats();
   res.messages_sent = stats.messages_sent;
   res.wire_bytes_sent = stats.wire_bytes_sent;
@@ -144,6 +151,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   res.instances_completed = stats.instances_completed;
   res.pipeline_high_water = stats.pipeline_high_water;
   res.ids_deduplicated = stats.ids_deduplicated;
+  res.batches_sent = stats.batches_sent;
+  res.msgs_per_batch_avg = stats.msgs_per_batch_avg;
+  res.payload_bytes_copied = stats.payload_bytes_copied;
   return res;
 }
 

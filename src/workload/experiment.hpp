@@ -38,7 +38,9 @@ struct ExperimentConfig {
   runtime::HostKind host = runtime::HostKind::kSim;
   net::NetModel model = net::NetModel::setup1();  // kSim only
   /// Full stack selection, including the ordering pipeline window
-  /// (`stack.pipeline_depth`; 1 = the paper's sequential Algorithm 1).
+  /// (`stack.pipeline_depth`; 1 = the paper's sequential Algorithm 1)
+  /// and sender-side payload batching (`stack.batch`; max_msgs = 1
+  /// disables it).
   abcast::StackConfig stack = {};
 
   std::size_t payload_bytes = 1;
@@ -66,7 +68,11 @@ struct ExperimentResult {
   bool saturated = false;  // undelivered > 0 after drain
 
   double offered_throughput = 0.0;   // configured msgs/s
-  double achieved_throughput = 0.0;  // deliveries/s per process, window
+  double achieved_throughput = 0.0;  // abroadcasts/s realized in window
+  /// Messages from the window delivered by every alive process, per
+  /// second of the window — the saturation metric: equals the realized
+  /// offered rate while the stack keeps up, collapses when it cannot.
+  double delivered_throughput = 0.0;
 
   // Network totals over the whole run (incl. warmup/drain).
   std::uint64_t messages_sent = 0;
@@ -80,6 +86,11 @@ struct ExperimentResult {
   std::uint64_t instances_completed = 0;  // max over processes
   std::size_t pipeline_high_water = 0;    // max over processes
   std::uint64_t ids_deduplicated = 0;     // summed over processes
+
+  // Dissemination counters (see ClusterStats).
+  std::uint64_t batches_sent = 0;
+  double msgs_per_batch_avg = 0.0;
+  std::uint64_t payload_bytes_copied = 0;
 };
 
 /// Runs one experiment to completion and returns its measurements.

@@ -114,6 +114,20 @@ BenchReport::BenchReport(std::string bench_name, int argc,
     if (const char* env = std::getenv("IBC_BENCH_JSON"); env && *env)
       path_ = env;
   }
+  // Build-derived run metadata (values baked in by src/CMakeLists.txt);
+  // benches append their run parameters via meta().
+#ifdef IBC_GIT_SHA
+  meta("git_sha", IBC_GIT_SHA);
+#endif
+#ifdef IBC_BUILD_TYPE
+  meta("build_type", IBC_BUILD_TYPE);
+#endif
+#ifdef IBC_SANITIZER_FLAGS
+  meta("sanitizers", IBC_SANITIZER_FLAGS);
+#endif
+#ifdef IBC_COMPILER
+  meta("compiler", IBC_COMPILER);
+#endif
 }
 
 void BenchReport::table(std::string_view title, std::string_view x_label,
@@ -135,11 +149,29 @@ void BenchReport::note(std::string_view key, std::string_view value) {
   notes_.push_back(Note{std::string(key), std::string(value)});
 }
 
+void BenchReport::meta(std::string_view key, std::string_view value) {
+  for (Note& entry : meta_) {
+    if (entry.key == key) {
+      entry.value = value;
+      return;
+    }
+  }
+  meta_.push_back(Note{std::string(key), std::string(value)});
+}
+
 std::string BenchReport::to_json() const {
   std::ostringstream out;
   out << "{\n  \"bench\": ";
   append_json_string(out, bench_name_);
-  out << ",\n  \"tables\": [";
+  out << ",\n  \"meta\": {";
+  for (std::size_t i = 0; i < meta_.size(); ++i) {
+    if (i) out << ", ";
+    out << "\n    ";
+    append_json_string(out, meta_[i].key);
+    out << ": ";
+    append_json_string(out, meta_[i].value);
+  }
+  out << (meta_.empty() ? "}" : "\n  }") << ",\n  \"tables\": [";
   for (std::size_t t = 0; t < tables_.size(); ++t) {
     const Table& tab = tables_[t];
     out << (t ? ",\n    {" : "\n    {") << "\"title\": ";

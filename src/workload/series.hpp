@@ -39,10 +39,16 @@ double saturated_marker();
 ///
 /// Document shape:
 ///   {"bench": <name>,
+///    "meta":  {"git_sha":.., "build_type":.., "sanitizers":..,
+///              "compiler":.., <bench-specific keys>...},
 ///    "tables": [{"title":.., "x_label":.., "x":[..],
 ///                "series":[{"name":.., "values":[..]}]}],
 ///    "notes": {<key>: <value>, ...}}
-/// Saturated/absent points (NaN) serialize as null.
+/// Saturated/absent points (NaN) serialize as null. The build-derived
+/// meta keys are filled in automatically (from CMake compile
+/// definitions; the SHA is the configure-time HEAD); benches add their
+/// run parameters — host kind, n, stack description — via `meta()`, so
+/// a recorded BENCH_*.json is self-describing.
 class BenchReport {
  public:
   /// Parses the JSON destination from argv/environment. A dangling
@@ -70,6 +76,10 @@ class BenchReport {
   /// Records a free-form string fact under "notes".
   void note(std::string_view key, std::string_view value);
 
+  /// Records a run-metadata fact under "meta" (host kind, n, stack
+  /// description, ...). Later writes override earlier ones per key.
+  void meta(std::string_view key, std::string_view value);
+
   /// Serializes the whole report.
   std::string to_json() const;
 
@@ -94,6 +104,7 @@ class BenchReport {
   std::string path_;  // "" = JSON not requested, "-" = stdout
   std::vector<Table> tables_;
   std::vector<Note> notes_;
+  std::vector<Note> meta_;
 };
 
 }  // namespace ibc::workload

@@ -1,0 +1,56 @@
+// Shared plumbing for the figure-reproduction benches.
+//
+// Each bench binary regenerates one figure of the paper: it sweeps the
+// figure's x-axis, runs one simulated experiment per (x, curve) point and
+// prints a paper-style table (series.hpp). This header carries the pieces
+// every bench shares — the standard stack configurations, the
+// one-point-of-a-sweep runner over `run_experiment`, and the common CLI
+// flags — so each bench is only its sweep loop. Points whose run ends
+// with undelivered messages beyond a small straggler allowance are
+// reported as saturated ("sat."), mirroring where the paper's curves
+// leave the plot.
+#pragma once
+
+#include "workload/experiment.hpp"
+#include "workload/series.hpp"
+
+namespace ibc::workload {
+
+struct SweepOptions {
+  Duration warmup = seconds(2);
+  Duration measure = seconds(8);
+  Duration drain = seconds(4);
+  std::uint64_t seed = 7;
+  /// Fraction of measured broadcasts allowed to be still in flight after
+  /// the drain before the point is declared saturated.
+  double straggler_tolerance = 0.01;
+};
+
+/// True iff a point's run saturated: more than the straggler allowance
+/// of its measured broadcasts was still undelivered after the drain.
+bool point_saturated(const ExperimentResult& result,
+                     const SweepOptions& opt);
+
+/// Runs one point; returns mean latency in ms, or NaN when saturated.
+double latency_point(std::uint32_t n, const net::NetModel& model,
+                     const abcast::StackConfig& stack,
+                     std::size_t payload_bytes, double throughput,
+                     const SweepOptions& opt = {});
+
+/// True when `--smoke` is among the arguments — the CI-sized variant of
+/// a sweep (registered in ctest so the bench cannot bit-rot).
+bool parse_smoke_flag(int argc, char* const* argv);
+
+/// Standard stack configurations used across the figures. The rcv cost of
+/// the indirect stacks is taken from the network model (it models the
+/// same testbed's CPU).
+abcast::StackConfig indirect_ct(const net::NetModel& model,
+                                abcast::RbKind rb);
+
+abcast::StackConfig msgs_ct(abcast::RbKind rb);
+
+/// Plain consensus on ids. Faulty when rb is not kUniform (§2.2); the
+/// Figure 3-4 comparison uses exactly that stack in failure-free runs.
+abcast::StackConfig ids_plain_ct(abcast::RbKind rb);
+
+}  // namespace ibc::workload

@@ -175,9 +175,29 @@ TEST(Series, PrintTableRuns) {
 
 TEST(BenchReport, EmptyReportIsValidJson) {
   const BenchReport report("empty");
-  EXPECT_EQ(report.to_json(),
-            "{\n  \"bench\": \"empty\",\n  \"tables\": [],"
-            "\n  \"notes\": {}\n}\n");
+  const std::string json = report.to_json();
+  // The build-derived meta values vary per build; check the structure
+  // and the auto-filled keys instead of a full golden string.
+  EXPECT_EQ(json.find("{\n  \"bench\": \"empty\",\n  \"meta\": {"), 0u);
+  for (const char* key : {"git_sha", "build_type", "sanitizers",
+                          "compiler"}) {
+    EXPECT_NE(json.find("\"" + std::string(key) + "\": "),
+              std::string::npos)
+        << key;
+  }
+  EXPECT_NE(json.find("\"tables\": [],\n  \"notes\": {}\n}\n"),
+            std::string::npos);
+}
+
+TEST(BenchReport, MetaEntriesOverridePerKey) {
+  BenchReport report("meta");
+  report.meta("host", "sim");
+  report.meta("host", "tcp");
+  report.meta("n", "3");
+  const std::string json = report.to_json();
+  EXPECT_EQ(json.find("\"host\": \"sim\""), std::string::npos);
+  EXPECT_NE(json.find("\"host\": \"tcp\""), std::string::npos);
+  EXPECT_NE(json.find("\"n\": \"3\""), std::string::npos);
 }
 
 TEST(BenchReport, SerializesTablesNotesAndNulls) {
