@@ -5,13 +5,17 @@
 // figure benches which measure the *modeled system*.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <deque>
 #include <map>
 
 #include "abcast/abcast_msgs.hpp"
 #include "core/id_set.hpp"
 #include "core/ordering.hpp"
+#include "net/tcp/framing.hpp"
 #include "sim/scheduler.hpp"
 #include "util/bytes.hpp"
+#include "util/payload.hpp"
 #include "util/rng.hpp"
 #include "workload/experiment.hpp"
 
@@ -131,6 +135,82 @@ void BM_MsgSetEncodeIncremental(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_MsgSetEncodeIncremental)->Arg(16)->Arg(256)->Arg(4096);
+
+// TCP framing round-trip: encode_frame + FrameDecoder::feed — the
+// per-frame boundary cost of the wire path at both ends.
+void BM_FrameCodecRoundtrip(benchmark::State& state) {
+  const auto payload_size = static_cast<std::size_t>(state.range(0));
+  const Bytes payload(payload_size, 0x5A);
+  net::tcp::FrameDecoder dec;
+  Bytes wire;
+  for (auto _ : state) {
+    wire.clear();
+    net::tcp::encode_frame(payload, wire);
+    std::size_t frames = 0;
+    dec.feed(wire, [&frames](BytesView) { ++frames; });
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(payload_size));
+}
+BENCHMARK(BM_FrameCodecRoundtrip)->Arg(16)->Arg(256)->Arg(4096);
+
+// Multicast fan-out: the sender-side cost of disseminating one frame to
+// n-1 peers. CopyPerPeer is the old send path — re-encode the layer
+// envelope per destination and memcpy the framed bytes into that peer's
+// flat output buffer. SharedPayload is the writev path that replaced
+// it: encode the envelope once into a ref-counted Payload, then queue a
+// (4-byte header, payload reference) pair per peer — the payload bytes
+// are never touched again. The gap grows with payload size and fan-out.
+constexpr std::size_t kFanoutPeers = 4;  // n = 5
+
+void BM_MulticastFanoutCopyPerPeer(benchmark::State& state) {
+  const auto payload_size = static_cast<std::size_t>(state.range(0));
+  const Bytes payload(payload_size, 0x3C);
+  std::array<Bytes, kFanoutPeers> outbufs;
+  for (auto _ : state) {
+    for (Bytes& outbuf : outbufs) {
+      Writer w(payload.size() + 2);
+      w.u16(5);  // layer envelope, re-encoded per destination
+      w.raw(payload);
+      const Bytes wire = w.take();
+      outbuf.clear();
+      net::tcp::encode_frame(wire, outbuf);
+      benchmark::DoNotOptimize(outbuf.data());
+    }
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(payload_size * kFanoutPeers));
+}
+BENCHMARK(BM_MulticastFanoutCopyPerPeer)->Arg(32)->Arg(1024)->Arg(16384);
+
+void BM_MulticastFanoutSharedPayload(benchmark::State& state) {
+  const auto payload_size = static_cast<std::size_t>(state.range(0));
+  const Bytes payload(payload_size, 0x3C);
+  struct OutFrame {
+    std::array<std::uint8_t, 4> header;
+    Payload payload;
+  };
+  std::array<std::deque<OutFrame>, kFanoutPeers> outqs;
+  for (auto _ : state) {
+    Writer w(payload.size() + 2);
+    w.u16(5);  // layer envelope, encoded exactly once
+    w.raw(payload);
+    const Payload frame = Payload::wrap(w.take());
+    for (auto& outq : outqs) {
+      outq.clear();
+      outq.push_back(OutFrame{
+          net::tcp::frame_header(static_cast<std::uint32_t>(frame.size())),
+          frame});
+      benchmark::DoNotOptimize(outq.back().payload.data());
+    }
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(payload_size * kFanoutPeers));
+}
+BENCHMARK(BM_MulticastFanoutSharedPayload)->Arg(32)->Arg(1024)->Arg(16384);
 
 void BM_SchedulerThroughput(benchmark::State& state) {
   for (auto _ : state) {

@@ -16,10 +16,11 @@ void RbFdBased::broadcast(Bytes payload) {
   Writer w(payload.size() + 20);
   w.message_id(key);
   w.blob(payload);
-  const Bytes wire = w.take();
+  // Encoded once; the loopback copy and the multicast share the buffer.
+  const Payload wire = ctx_.make_frame(w.view());
   store_.emplace(key, Payload::wrap(std::move(payload)));
-  ctx_.send(ctx_.self(), wire);
-  ctx_.send_to_others(wire);
+  ctx_.send_frame(ctx_.self(), wire);
+  ctx_.multicast_frame(wire);
 }
 
 void RbFdBased::on_message(ProcessId from, Reader& r) {
@@ -50,11 +51,11 @@ void RbFdBased::relay(const MessageId& key, BytesView payload,
   Writer w(payload.size() + 20);
   w.message_id(key);
   w.blob(payload);
-  const Bytes wire = w.take();
+  const Payload wire = ctx_.make_frame(w.view());
   const std::uint32_t n = ctx_.n();
   for (ProcessId p = 1; p <= n; ++p) {
     if (p != ctx_.self() && p != key.origin && p != skip)
-      ctx_.send(p, wire);
+      ctx_.send_frame(p, wire);
   }
 }
 

@@ -10,7 +10,9 @@ void RbFlood::broadcast(Bytes payload) {
   Writer w(payload.size() + 20);
   w.message_id(key);
   w.blob(payload);
-  const Bytes wire = w.take();
+  // One envelope encoding shared by the loopback copy and the n-1
+  // multicast destinations — no per-peer re-encoding.
+  const Payload wire = ctx_.make_frame(w.view());
   // The origin's own copy goes through the loopback path like everyone
   // else's, so its delivery pays the same (simulated) cost and happens
   // asynchronously — matching a real stack where the layer hands the
@@ -19,8 +21,8 @@ void RbFlood::broadcast(Bytes payload) {
   // frame a second time.
   seen_.insert(key);
   own_.emplace(key, Payload::wrap(std::move(payload)));
-  ctx_.send(ctx_.self(), wire);
-  ctx_.send_to_others(wire);
+  ctx_.send_frame(ctx_.self(), wire);
+  ctx_.multicast_frame(wire);
 }
 
 void RbFlood::on_message(ProcessId from, Reader& r) {
@@ -43,15 +45,16 @@ void RbFlood::on_message(ProcessId from, Reader& r) {
   }
   if (!seen_.insert(key).second) return;  // duplicate
 
-  // Relay before delivering (first receipt), then deliver.
+  // Relay before delivering (first receipt), then deliver. The relay
+  // frame is encoded once and shared across every relay target.
   Writer w(payload.size() + 20);
   w.message_id(key);
   w.blob(payload);
-  const Bytes wire = w.take();
+  const Payload wire = ctx_.make_frame(w.view());
   const std::uint32_t n = ctx_.n();
   for (ProcessId p = 1; p <= n; ++p) {
     if (p != ctx_.self() && p != key.origin && p != from)
-      ctx_.send(p, wire);
+      ctx_.send_frame(p, wire);
   }
   deliver(key.origin, copy_payload(payload));
 }

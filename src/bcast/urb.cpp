@@ -23,7 +23,8 @@ void UrbBroadcast::forward(const MessageId& key, BytesView payload) {
   Writer w(payload.size() + 20);
   w.message_id(key);
   w.blob(payload);
-  ctx_.send_to_others(w.take());
+  // One encode, one shared buffer across the n-1 FORWARD targets.
+  ctx_.multicast_frame(ctx_.make_frame(w.view()));
 }
 
 void UrbBroadcast::on_message(ProcessId from, Reader& r) {

@@ -13,6 +13,7 @@ HeartbeatFd::HeartbeatFd(runtime::Stack& stack, runtime::LayerId layer_id,
                          HeartbeatConfig config)
     : ctx_(stack.register_layer(layer_id, *this, "fd")),
       config_(config),
+      heartbeat_frame_(ctx_.make_frame(Bytes{kHeartbeat})),
       last_heard_(ctx_.n() + 1, 0),
       timeout_(ctx_.n() + 1, config.initial_timeout),
       suspected_(ctx_.n() + 1, false) {
@@ -51,11 +52,8 @@ void HeartbeatFd::on_message(ProcessId from, Reader& r) {
 }
 
 void HeartbeatFd::tick() {
-  // Send our heartbeat...
-  Writer w(1);
-  w.u8(kHeartbeat);
-  const Bytes hb = w.take();
-  ctx_.send_to_others(hb);
+  // Send our heartbeat: the pre-encoded frame, no per-tick serialization.
+  ctx_.multicast_frame(heartbeat_frame_);
 
   // ...and check everyone's freshness.
   const TimePoint now = ctx_.now();

@@ -42,6 +42,9 @@ class HeartbeatFd final : public runtime::Layer, public FailureDetector {
 
   runtime::LayerContext ctx_;
   HeartbeatConfig config_;
+  /// The heartbeat never changes: encoded once at construction, every
+  /// tick multicasts the same shared frame — zero per-tick encoding.
+  Payload heartbeat_frame_;
   std::vector<TimePoint> last_heard_;  // [1..n]
   std::vector<Duration> timeout_;      // [1..n]
   std::vector<bool> suspected_;        // [1..n]

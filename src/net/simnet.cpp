@@ -44,7 +44,7 @@ void SimNetwork::charge_cpu(ProcessId p, Duration cost) {
   cpu_enqueue(p, cost);
 }
 
-void SimNetwork::send(ProcessId src, ProcessId dst, Bytes msg) {
+void SimNetwork::send(ProcessId src, ProcessId dst, Payload msg) {
   check_pid(src);
   check_pid(dst);
   if (crashed_[src]) return;
@@ -54,35 +54,32 @@ void SimNetwork::send(ProcessId src, ProcessId dst, Bytes msg) {
   ++sent_by_[src];
   if (sent_hook_) sent_hook_(src, dst, msg);
 
-  auto shared = std::make_shared<const Bytes>(std::move(msg));
-
   if (dst == src) {
     // Loopback: a flat CPU cost, no NIC, no propagation.
     const TimePoint done = cpu_enqueue(src, model_.self_delivery_cost);
-    sched_.schedule_at(done, [this, src, dst, shared] {
-      if (!crashed_[src]) deliver_now(src, dst, shared);
+    sched_.schedule_at(done, [this, src, dst, msg = std::move(msg)] {
+      if (!crashed_[src]) deliver_now(src, dst, msg);
     });
     return;
   }
 
-  counters_.wire_bytes_sent += shared->size() + model_.header_bytes;
+  counters_.wire_bytes_sent += msg.size() + model_.header_bytes;
   const Duration cost =
       model_.send_overhead +
-      static_cast<Duration>(shared->size()) * model_.cpu_per_byte_send;
+      static_cast<Duration>(msg.size()) * model_.cpu_per_byte_send;
   const TimePoint done = cpu_enqueue(src, cost);
-  sched_.schedule_at(done, [this, src, dst, shared] {
+  sched_.schedule_at(done, [this, src, dst, msg = std::move(msg)] {
     // The CPU task dies with the process: a crash between enqueue and
     // completion drops the message before it reaches the NIC.
     if (crashed_[src]) {
       ++counters_.messages_dropped;
       return;
     }
-    nic_add(src, dst, shared);
+    nic_add(src, dst, msg);
   });
 }
 
-void SimNetwork::nic_add(ProcessId src, ProcessId dst,
-                         std::shared_ptr<const Bytes> msg) {
+void SimNetwork::nic_add(ProcessId src, ProcessId dst, Payload msg) {
   Nic& nic = nics_[src];
   // Bring PS accounting up to date before changing the active set.
   const TimePoint now = sched_.now();
@@ -95,7 +92,7 @@ void SimNetwork::nic_add(ProcessId src, ProcessId dst,
   nic.last_update = now;
 
   const double wire_bytes =
-      static_cast<double>(msg->size() + model_.header_bytes);
+      static_cast<double>(msg.size() + model_.header_bytes);
   nic.active.push_back(Transfer{dst, std::move(msg), wire_bytes});
   nic_update(src);
 }
@@ -142,41 +139,38 @@ void SimNetwork::nic_update(ProcessId src) {
                             [this, src] { nic_update(src); });
 }
 
-void SimNetwork::wire_transit(ProcessId src, ProcessId dst,
-                              std::shared_ptr<const Bytes> msg) {
+void SimNetwork::wire_transit(ProcessId src, ProcessId dst, Payload msg) {
   const Duration transit = model_.propagation + draw_jitter();
   sched_.schedule_after(transit, [this, src, dst, msg = std::move(msg)] {
     arrive(src, dst, msg);
   });
 }
 
-void SimNetwork::arrive(ProcessId src, ProcessId dst,
-                        std::shared_ptr<const Bytes> msg) {
+void SimNetwork::arrive(ProcessId src, ProcessId dst, Payload msg) {
   if (crashed_[dst]) {
     ++counters_.messages_dropped;
     return;
   }
   const Duration cost =
       model_.recv_overhead +
-      static_cast<Duration>(msg->size()) * model_.cpu_per_byte_recv;
+      static_cast<Duration>(msg.size()) * model_.cpu_per_byte_recv;
   const TimePoint done = cpu_enqueue(dst, cost);
   sched_.schedule_at(done, [this, src, dst, msg = std::move(msg)] {
     if (!crashed_[dst]) deliver_now(src, dst, msg);
   });
 }
 
-void SimNetwork::deliver_now(ProcessId src, ProcessId dst,
-                             std::shared_ptr<const Bytes> msg) {
+void SimNetwork::deliver_now(ProcessId src, ProcessId dst, Payload msg) {
   ++counters_.messages_delivered;
   ++delivered_to_[dst];
-  if (delivered_hook_) delivered_hook_(src, dst, *msg);
+  if (delivered_hook_) delivered_hook_(src, dst, msg);
   // The hook may have crashed the destination (scripted scenarios).
   if (crashed_[dst]) {
     ++counters_.messages_dropped;
     return;
   }
   IBC_ASSERT_MSG(deliver_ != nullptr, "SimNetwork: no deliver callback set");
-  deliver_(src, dst, *msg);
+  deliver_(src, dst, msg);
 }
 
 void SimNetwork::crash(ProcessId p) {

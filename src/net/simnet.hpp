@@ -26,6 +26,7 @@
 #include "net/netmodel.hpp"
 #include "sim/scheduler.hpp"
 #include "util/bytes.hpp"
+#include "util/payload.hpp"
 #include "util/rng.hpp"
 #include "util/types.hpp"
 
@@ -56,8 +57,15 @@ class SimNetwork {
   void set_deliver(DeliverFn fn) { deliver_ = std::move(fn); }
 
   /// Sends `msg` from `src` to `dst` (which may equal `src`: loopback
-  /// path, no NIC). No-op if `src` already crashed.
-  void send(ProcessId src, ProcessId dst, Bytes msg);
+  /// path, no NIC). No-op if `src` already crashed. The Payload is
+  /// shared, not copied — a multicast hands the same buffer to every
+  /// destination.
+  void send(ProcessId src, ProcessId dst, Payload msg);
+
+  /// Convenience for owning buffers (tests, scripted scenarios).
+  void send(ProcessId src, ProcessId dst, Bytes msg) {
+    send(src, dst, Payload::wrap(std::move(msg)));
+  }
 
   /// Crashes `p` now: all its pending CPU work and outgoing NIC transfers
   /// are dropped, future sends/receives are ignored, crash listeners fire.
@@ -105,7 +113,7 @@ class SimNetwork {
  private:
   struct Transfer {
     ProcessId dst = kInvalidProcess;
-    std::shared_ptr<const Bytes> msg;
+    Payload msg;
     double remaining_bytes = 0.0;
   };
   struct Nic {
@@ -117,18 +125,14 @@ class SimNetwork {
   /// Appends `cost` to p's CPU queue; returns the completion time.
   TimePoint cpu_enqueue(ProcessId p, Duration cost);
 
-  void nic_add(ProcessId src, ProcessId dst,
-               std::shared_ptr<const Bytes> msg);
+  void nic_add(ProcessId src, ProcessId dst, Payload msg);
   /// Advances PS accounting of src's NIC to `now`, completes finished
   /// transfers (handing them to the wire), and reschedules the next
   /// completion event.
   void nic_update(ProcessId src);
-  void wire_transit(ProcessId src, ProcessId dst,
-                    std::shared_ptr<const Bytes> msg);
-  void arrive(ProcessId src, ProcessId dst,
-              std::shared_ptr<const Bytes> msg);
-  void deliver_now(ProcessId src, ProcessId dst,
-                   std::shared_ptr<const Bytes> msg);
+  void wire_transit(ProcessId src, ProcessId dst, Payload msg);
+  void arrive(ProcessId src, ProcessId dst, Payload msg);
+  void deliver_now(ProcessId src, ProcessId dst, Payload msg);
 
   double bytes_per_ns() const { return model_.bandwidth_bytes_per_sec / 1e9; }
   Duration draw_jitter();

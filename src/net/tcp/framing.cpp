@@ -2,11 +2,17 @@
 
 namespace ibc::net::tcp {
 
+std::array<std::uint8_t, 4> frame_header(std::uint32_t payload_len) {
+  return {static_cast<std::uint8_t>(payload_len),
+          static_cast<std::uint8_t>(payload_len >> 8),
+          static_cast<std::uint8_t>(payload_len >> 16),
+          static_cast<std::uint8_t>(payload_len >> 24)};
+}
+
 void encode_frame(BytesView payload, Bytes& out) {
-  const auto len = static_cast<std::uint32_t>(payload.size());
-  out.reserve(out.size() + 4 + payload.size());
-  for (int i = 0; i < 4; ++i)
-    out.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  const auto hdr = frame_header(static_cast<std::uint32_t>(payload.size()));
+  out.reserve(out.size() + hdr.size() + payload.size());
+  out.insert(out.end(), hdr.begin(), hdr.end());
   out.insert(out.end(), payload.begin(), payload.end());
 }
 

@@ -5,12 +5,20 @@
 // feed it arbitrary byte chunks, collect whole frames.
 #pragma once
 
+#include <array>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 #include "util/bytes.hpp"
 
 namespace ibc::net::tcp {
+
+/// The u32 little-endian length prefix of a frame, as a standalone
+/// buffer: the writev send path scatters (header, payload) pairs
+/// straight from the shared payload storage, so the header is the only
+/// per-destination bytes ever materialized.
+std::array<std::uint8_t, 4> frame_header(std::uint32_t payload_len);
 
 /// Appends one frame to `out`.
 void encode_frame(BytesView payload, Bytes& out);

@@ -1,6 +1,8 @@
 #include "net/tcp/tcp_transport.hpp"
 
 #include <poll.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -18,6 +20,11 @@ TimePoint steady_ns() {
              std::chrono::steady_clock::now().time_since_epoch())
       .count();
 }
+
+/// iovec entries per writev. Each frame contributes up to two (header,
+/// payload), so one syscall can carry ~half this many frames. Well under
+/// any platform IOV_MAX (POSIX guarantees >= 16; Linux has 1024).
+constexpr std::size_t kMaxIov = 64;
 
 }  // namespace
 
@@ -39,27 +46,69 @@ TcpEnv::~TcpEnv() { request_stop(); }
 TimePoint TcpEnv::now() const { return steady_ns() - epoch_ns_; }
 
 void TcpEnv::wake() {
+  if (wakeups_ctr_ != nullptr)
+    wakeups_ctr_->fetch_add(1, std::memory_order_relaxed);
   const char byte = 1;
   // A full pipe already guarantees a pending wakeup.
   [[maybe_unused]] const ssize_t ignored =
       ::write(wake_w_.get(), &byte, 1);
 }
 
-void TcpEnv::send(ProcessId dst, Bytes msg) {
+void TcpEnv::enqueue_frame(ProcessId dst, const Payload& msg) {
+  Peer& peer = peers_[dst];
+  if (!peer.open) return;  // peer gone: reliable-channel-until-crash
+  // Counted here — frames actually queued on a socket — so sends to
+  // dead peers don't inflate the wire total. Payload plus the u32
+  // length prefix.
+  if (wire_bytes_ctr_ != nullptr) {
+    wire_bytes_ctr_->fetch_add(msg.size() + sizeof(std::uint32_t),
+                               std::memory_order_relaxed);
+  }
+  peer.outq.push_back(
+      OutFrame{frame_header(static_cast<std::uint32_t>(msg.size())), msg});
+}
+
+void TcpEnv::send(ProcessId dst, Payload msg) {
   IBC_REQUIRE(dst >= 1 && dst <= n_);
   if (messages_ctr_ != nullptr)
     messages_ctr_->fetch_add(1, std::memory_order_relaxed);
   if (dst == self_) {
     // Loopback: dispatch asynchronously on the reactor, like everyone
-    // else's messages.
+    // else's messages. The shared Payload is the frame — no copy.
     defer([this, msg = std::move(msg)] {
       if (receive_) receive_(self_, msg);
     });
     return;
   }
+  if (on_reactor()) {
+    // Fast path: protocol code runs on the reactor thread, which owns
+    // the output queues outright — no lock, no wake syscall.
+    enqueue_frame(dst, msg);
+    return;
+  }
   {
     const std::scoped_lock lock(mu_);
     pending_sends_.emplace_back(dst, std::move(msg));
+  }
+  wake();
+}
+
+void TcpEnv::multicast(Payload msg) {
+  // Accounting is per destination, exactly like a loop of sends; the
+  // frame bytes are shared by every queue entry.
+  if (messages_ctr_ != nullptr)
+    messages_ctr_->fetch_add(n_ - 1, std::memory_order_relaxed);
+  if (on_reactor()) {
+    for (ProcessId q = 1; q <= n_; ++q) {
+      if (q != self_) enqueue_frame(q, msg);
+    }
+    return;
+  }
+  {
+    const std::scoped_lock lock(mu_);
+    for (ProcessId q = 1; q <= n_; ++q) {
+      if (q != self_) pending_sends_.emplace_back(q, msg);
+    }
   }
   wake();
 }
@@ -75,7 +124,9 @@ runtime::TimerId TcpEnv::set_timer(Duration delay, TimerFn fn) {
                               std::make_shared<TimerFn>(std::move(fn))});
     live_timers_.insert(id);
   }
-  wake();
+  // On the reactor thread the loop recomputes its poll timeout before
+  // sleeping, so the wake syscall is needed only for other threads.
+  if (!on_reactor()) wake();
   return id;
 }
 
@@ -85,6 +136,11 @@ void TcpEnv::cancel_timer(runtime::TimerId id) {
 }
 
 void TcpEnv::defer(TimerFn fn) {
+  if (on_reactor()) {
+    // Fast path: the reactor drains local_tasks_ every loop iteration.
+    local_tasks_.push_back(std::move(fn));
+    return;
+  }
   {
     const std::scoped_lock lock(mu_);
     tasks_.push_back(std::move(fn));
@@ -107,26 +163,30 @@ void TcpEnv::request_stop() {
   for (Peer& peer : peers_) {
     peer.fd.reset();
     peer.open = false;
+    peer.outq.clear();
+    peer.out_offset = 0;
   }
 }
 
-int TcpEnv::drain_inputs_and_timeout() {
-  const std::scoped_lock lock(mu_);
-  for (auto& [dst, msg] : pending_sends_) {
-    Peer& peer = peers_[dst];
-    if (!peer.open) continue;  // peer gone: reliable-channel-until-crash
-    // Counted here — frames actually queued on a socket — so sends to
-    // dead peers don't inflate the wire total. Payload plus the u32
-    // length prefix.
-    if (wire_bytes_ctr_ != nullptr) {
-      wire_bytes_ctr_->fetch_add(msg.size() + sizeof(std::uint32_t),
-                                 std::memory_order_relaxed);
-    }
-    encode_frame(msg, peer.outbuf);
+void TcpEnv::drain_cross_thread() {
+  // Swap the shared containers into locals under the lock, then process
+  // lock-free: cross-thread senders never wait behind frame enqueueing,
+  // and the reactor never encodes while holding mu_.
+  std::vector<std::pair<ProcessId, Payload>> sends;
+  std::vector<TimerFn> tasks;
+  {
+    const std::scoped_lock lock(mu_);
+    sends.swap(pending_sends_);
+    tasks.swap(tasks_);
   }
-  pending_sends_.clear();
+  for (auto& [dst, msg] : sends) enqueue_frame(dst, msg);
+  for (TimerFn& fn : tasks) local_tasks_.push_back(std::move(fn));
+}
 
-  // Poll timeout from the earliest live timer (ms, rounded up).
+int TcpEnv::poll_timeout_ms() {
+  if (!local_tasks_.empty()) return 0;  // ready work: don't sleep
+  // Otherwise the earliest live timer bounds the sleep (ms, rounded up).
+  const std::scoped_lock lock(mu_);
   while (!timers_.empty() &&
          !live_timers_.contains(timers_.top().id)) {
     timers_.pop();  // lazily discard cancelled timers
@@ -156,12 +216,12 @@ void TcpEnv::fire_due_timers() {
   }
 }
 
-void TcpEnv::run_posted_tasks() {
+void TcpEnv::run_ready_tasks() {
+  // Tasks deferred while this batch runs land in the fresh local_tasks_
+  // and execute next iteration — same "after the current callback
+  // returns" semantics as before.
   std::vector<TimerFn> batch;
-  {
-    const std::scoped_lock lock(mu_);
-    batch.swap(tasks_);
-  }
+  batch.swap(local_tasks_);
   for (TimerFn& fn : batch) fn();
 }
 
@@ -182,35 +242,110 @@ void TcpEnv::handle_readable(ProcessId peer_id) {
     if (got == 0 ||
         (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR)) {
       // Peer crashed or closed: from now on it is silent, exactly like a
-      // crashed process in the model. The failure detector notices.
+      // crashed process in the model. The failure detector notices. Any
+      // parked backlog dies with the channel.
       peer.open = false;
       peer.fd.reset();
+      peer.outq.clear();
+      peer.out_offset = 0;
     }
     return;
   }
 }
 
-void TcpEnv::handle_writable(ProcessId peer_id) {
+void TcpEnv::flush_peer(ProcessId peer_id) {
   Peer& peer = peers_[peer_id];
-  while (peer.open && !peer.outbuf.empty()) {
-    const ssize_t wrote =
-        ::write(peer.fd.get(), peer.outbuf.data(), peer.outbuf.size());
-    if (wrote > 0) {
-      peer.outbuf.erase(peer.outbuf.begin(), peer.outbuf.begin() + wrote);
+  while (peer.open && !peer.outq.empty()) {
+    // Scatter up to kMaxIov segments straight out of the queued frames:
+    // the headers and the shared payload buffers, nothing re-copied.
+    iovec iov[kMaxIov];
+    std::size_t iov_count = 0;
+    std::size_t requested = 0;
+    std::size_t skip = peer.out_offset;  // partial progress on front
+    for (const OutFrame& frame : peer.outq) {
+      if (iov_count + 2 > kMaxIov) break;
+      const std::size_t hdr_skip = std::min(skip, frame.header.size());
+      const std::size_t pay_skip = skip - hdr_skip;
+      if (frame.header.size() > hdr_skip) {
+        iov[iov_count++] = {
+            const_cast<std::uint8_t*>(frame.header.data()) + hdr_skip,
+            frame.header.size() - hdr_skip};
+        requested += frame.header.size() - hdr_skip;
+      }
+      if (frame.payload.size() > pay_skip) {
+        iov[iov_count++] = {
+            const_cast<std::uint8_t*>(frame.payload.data()) + pay_skip,
+            frame.payload.size() - pay_skip};
+        requested += frame.payload.size() - pay_skip;
+      }
+      skip = 0;
+    }
+    if (iov_count == 0) {  // queued empty frames already fully written
+      peer.outq.pop_front();
+      peer.out_offset = 0;
       continue;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR) return;
-    peer.open = false;  // connection reset
-    peer.fd.reset();
-    return;
+
+    // sendmsg is writev-with-flags: MSG_NOSIGNAL turns the EPIPE of a
+    // peer that reset mid-flush into an error return (handled below as
+    // a crash) instead of a process-killing SIGPIPE.
+    msghdr mh{};
+    mh.msg_iov = iov;
+    mh.msg_iovlen = iov_count;
+    const ssize_t wrote = ::sendmsg(peer.fd.get(), &mh, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)
+        return;  // kernel buffer full: resume on POLLOUT
+      peer.open = false;  // connection reset
+      peer.fd.reset();
+      peer.outq.clear();
+      peer.out_offset = 0;
+      return;
+    }
+    if (writev_ctr_ != nullptr)
+      writev_ctr_->fetch_add(1, std::memory_order_relaxed);
+
+    // Retire fully-written frames; a partial frame keeps its offset.
+    std::size_t remaining = static_cast<std::size_t>(wrote);
+    while (remaining > 0 && !peer.outq.empty()) {
+      const OutFrame& front = peer.outq.front();
+      const std::size_t frame_total =
+          front.header.size() + front.payload.size();
+      const std::size_t frame_left = frame_total - peer.out_offset;
+      if (remaining >= frame_left) {
+        remaining -= frame_left;
+        peer.outq.pop_front();
+        peer.out_offset = 0;
+        if (frames_ctr_ != nullptr)
+          frames_ctr_->fetch_add(1, std::memory_order_relaxed);
+      } else {
+        peer.out_offset += remaining;
+        remaining = 0;
+      }
+    }
+    if (static_cast<std::size_t>(wrote) < requested) return;  // short write
+  }
+}
+
+void TcpEnv::flush_all_peers() {
+  for (ProcessId q = 1; q <= n_; ++q) {
+    if (q != self_ && peers_[q].has_backlog()) flush_peer(q);
   }
 }
 
 void TcpEnv::reactor_loop(const std::stop_token& st) {
   reactor_tid_.store(std::this_thread::get_id());
   while (!st.stop_requested()) {
-    const int timeout_ms = drain_inputs_and_timeout();
+    // Collect work produced since the last iteration (cross-thread
+    // senders and the previous cycle's callbacks), run it, then flush
+    // every touched peer once: all frames the cycle produced leave in
+    // one writev per peer instead of one syscall per frame.
+    drain_cross_thread();
+    run_ready_tasks();
+    fire_due_timers();
+    flush_all_peers();
 
+    const int timeout_ms = poll_timeout_ms();
     std::vector<pollfd> pfds;
     std::vector<ProcessId> owners;
     pfds.push_back(pollfd{wake_r_.get(), POLLIN, 0});
@@ -219,7 +354,7 @@ void TcpEnv::reactor_loop(const std::stop_token& st) {
       Peer& peer = peers_[q];
       if (!peer.open) continue;
       short events = POLLIN;
-      if (!peer.outbuf.empty()) events |= POLLOUT;
+      if (peer.has_backlog()) events |= POLLOUT;
       pfds.push_back(pollfd{peer.fd.get(), events, 0});
       owners.push_back(q);
     }
@@ -234,10 +369,8 @@ void TcpEnv::reactor_loop(const std::stop_token& st) {
     for (std::size_t i = 1; i < pfds.size(); ++i) {
       if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
         handle_readable(owners[i]);
-      if ((pfds[i].revents & POLLOUT) != 0) handle_writable(owners[i]);
+      if ((pfds[i].revents & POLLOUT) != 0) flush_peer(owners[i]);
     }
-    fire_due_timers();
-    run_posted_tasks();
   }
   // Cleared on exit so a recycled OS thread id can't alias a dead
   // reactor in run_on's self-thread check.
@@ -256,6 +389,9 @@ TcpCluster::TcpCluster(std::uint32_t n, std::uint64_t seed)
         p, n, root.fork("tcp-process", p), epoch_ns_));
     envs_[p]->messages_ctr_ = &messages_sent_;
     envs_[p]->wire_bytes_ctr_ = &wire_bytes_sent_;
+    envs_[p]->frames_ctr_ = &frames_sent_;
+    envs_[p]->writev_ctr_ = &writev_calls_;
+    envs_[p]->wakeups_ctr_ = &wakeups_;
   }
 
   // Full mesh: p dials every q > p; the hello frame identifies the
@@ -419,7 +555,10 @@ std::uint32_t TcpCluster::alive_count() const {
 runtime::HostCounters TcpCluster::counters() const {
   return runtime::HostCounters{
       messages_sent_.load(std::memory_order_relaxed),
-      wire_bytes_sent_.load(std::memory_order_relaxed)};
+      wire_bytes_sent_.load(std::memory_order_relaxed),
+      frames_sent_.load(std::memory_order_relaxed),
+      writev_calls_.load(std::memory_order_relaxed),
+      wakeups_.load(std::memory_order_relaxed)};
 }
 
 }  // namespace ibc::net::tcp

@@ -13,6 +13,14 @@
 // to the reactor). Per Core Guidelines CP: jthread (no detach), RAII
 // sockets, scoped_lock around the small cross-thread state.
 //
+// Send path: a frame is a (u32 length header, shared Payload) pair in a
+// per-peer output queue — the payload bytes are never copied per peer.
+// Senders already on the reactor thread (all protocol code) enqueue
+// directly, with no lock and no wake syscall; only genuinely
+// cross-thread senders take the mutex + wake-pipe route. Queued frames
+// are flushed with writev, many frames per syscall; a partial write
+// parks the remainder until POLLOUT.
+//
 // Lifecycle:
 //   TcpCluster cluster(n);          // mesh established, reactors idle
 //   ...build one stack per process on cluster.env(p)...
@@ -23,9 +31,11 @@
 //   ~TcpCluster                     // stops and joins all reactors
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -38,6 +48,7 @@
 #include "net/tcp/socket.hpp"
 #include "runtime/env.hpp"
 #include "runtime/host.hpp"
+#include "util/payload.hpp"
 
 namespace ibc::net::tcp {
 
@@ -51,10 +62,13 @@ class TcpEnv final : public runtime::Env {
   TcpEnv(ProcessId self, std::uint32_t n, Rng rng, TimePoint epoch_ns);
   ~TcpEnv() override;
 
+  using Env::send;  // keep the Bytes convenience overload visible
+
   ProcessId self() const override { return self_; }
   std::uint32_t n() const override { return n_; }
   TimePoint now() const override;
-  void send(ProcessId dst, Bytes msg) override;
+  void send(ProcessId dst, Payload msg) override;
+  void multicast(Payload msg) override;
   runtime::TimerId set_timer(Duration delay, TimerFn fn) override;
   void cancel_timer(runtime::TimerId id) override;
   void defer(TimerFn fn) override;
@@ -66,11 +80,19 @@ class TcpEnv final : public runtime::Env {
  private:
   friend class TcpCluster;
 
+  /// One queued outbound frame: the 4-byte length header (the only
+  /// per-destination bytes) plus a shared reference to the payload.
+  struct OutFrame {
+    std::array<std::uint8_t, 4> header;
+    Payload payload;
+  };
   struct Peer {
     Fd fd;
-    Bytes outbuf;       // bytes accepted but not yet written
+    std::deque<OutFrame> outq;    // frames accepted but not fully written
+    std::size_t out_offset = 0;   // bytes of outq.front() already written
     FrameDecoder decoder;
     bool open = false;
+    bool has_backlog() const { return !outq.empty(); }
   };
   struct PendingTimer {
     TimePoint deadline;
@@ -87,12 +109,24 @@ class TcpEnv final : public runtime::Env {
   void request_stop();
   void reactor_loop(const std::stop_token& st);
   void wake();
-  /// Moves queued sends into peer output buffers; returns poll timeout.
-  int drain_inputs_and_timeout();
+  /// True on the reactor thread — the lock-free, wake-free fast path.
+  bool on_reactor() const {
+    return reactor_tid_.load(std::memory_order_relaxed) ==
+           std::this_thread::get_id();
+  }
+  /// Appends one frame to dst's output queue (reactor thread only).
+  void enqueue_frame(ProcessId dst, const Payload& msg);
+  /// Moves cross-thread sends/tasks into reactor-local state. The lock
+  /// is held only for the container swaps; all processing is lock-free.
+  void drain_cross_thread();
+  /// Poll timeout from pending local work and the earliest live timer.
+  int poll_timeout_ms();
   void fire_due_timers();
-  void run_posted_tasks();
+  void run_ready_tasks();
+  /// writev-flushes dst's queue until empty, EAGAIN, or error.
+  void flush_peer(ProcessId dst);
+  void flush_all_peers();
   void handle_readable(ProcessId peer);
-  void handle_writable(ProcessId peer);
 
   const ProcessId self_;
   const std::uint32_t n_;
@@ -104,8 +138,12 @@ class TcpEnv final : public runtime::Env {
   std::vector<Peer> peers_;  // [1..n]; peers_[self_] unused
   Fd wake_r_, wake_w_;
 
+  /// Deferred work owned by the reactor thread (fast-path defer and
+  /// loopback sends land here without locking).
+  std::vector<TimerFn> local_tasks_;
+
   std::mutex mu_;  // guards the four members below
-  std::vector<std::pair<ProcessId, Bytes>> pending_sends_;
+  std::vector<std::pair<ProcessId, Payload>> pending_sends_;
   std::vector<TimerFn> tasks_;
   std::priority_queue<PendingTimer, std::vector<PendingTimer>,
                       std::greater<>>
@@ -118,6 +156,9 @@ class TcpEnv final : public runtime::Env {
   // Cluster-wide transport counters (owned by TcpCluster).
   std::atomic<std::uint64_t>* messages_ctr_ = nullptr;
   std::atomic<std::uint64_t>* wire_bytes_ctr_ = nullptr;
+  std::atomic<std::uint64_t>* frames_ctr_ = nullptr;
+  std::atomic<std::uint64_t>* writev_ctr_ = nullptr;
+  std::atomic<std::uint64_t>* wakeups_ctr_ = nullptr;
 
   // The reactor's thread id while the loop runs (default id otherwise).
   // Read by TcpCluster::run_on without touching thread_, which a
@@ -197,6 +238,9 @@ class TcpCluster final : public runtime::Host {
 
   std::atomic<std::uint64_t> messages_sent_{0};
   std::atomic<std::uint64_t> wire_bytes_sent_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> writev_calls_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
 
   // Pending crash_at watchdogs. Declared last: their jthread destructors
   // request stop and join before anything else is torn down.

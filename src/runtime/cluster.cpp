@@ -180,6 +180,13 @@ ClusterStats Cluster::stats() {
   const runtime::HostCounters wire = host_->counters();
   stats.messages_sent = wire.messages_sent;
   stats.wire_bytes_sent = wire.wire_bytes_sent;
+  stats.writev_calls = wire.writev_calls;
+  stats.wakeups = wire.wakeups;
+  stats.frames_per_writev_avg =
+      wire.writev_calls == 0
+          ? 0.0
+          : static_cast<double>(wire.frames_sent) /
+                static_cast<double>(wire.writev_calls);
   {
     const std::scoped_lock lock(log_mu_);
     stats.deliveries.resize(logs_.size());

@@ -159,6 +159,10 @@ struct ClusterStats {
   /// R-delivery at the broadcast layer; everything above shares that
   /// copy by reference (summed over processes).
   std::uint64_t payload_bytes_copied = 0;
+  // Transport-efficiency counters (TCP host only; zero on the sim).
+  std::uint64_t writev_calls = 0;        // flush syscalls issued
+  std::uint64_t wakeups = 0;             // wake-pipe writes (cross-thread)
+  double frames_per_writev_avg = 0.0;    // frames flushed / writev calls
 };
 
 class Cluster {

@@ -13,9 +13,11 @@
 
 #include <cstdint>
 #include <functional>
+#include <utility>
 
 #include "util/bytes.hpp"
 #include "util/log.hpp"
+#include "util/payload.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 #include "util/types.hpp"
@@ -43,7 +45,21 @@ class Env {
 
   /// Sends `msg` to `dst`; `dst == self()` is a valid loopback send.
   /// Fire-and-forget: channels are reliable unless the sender crashes.
-  virtual void send(ProcessId dst, Bytes msg) = 0;
+  /// The Payload is shared, not copied: a caller can send the same
+  /// encoded frame to many destinations without re-encoding it.
+  virtual void send(ProcessId dst, Payload msg) = 0;
+
+  /// Convenience: wraps an owning buffer (one allocation handoff, no
+  /// copy) and sends it.
+  void send(ProcessId dst, Bytes msg) {
+    send(dst, Payload::wrap(std::move(msg)));
+  }
+
+  /// Sends `msg` to every process except self — the transport-level
+  /// dissemination primitive. The frame is encoded exactly once; every
+  /// destination shares the same ref-counted buffer (and, on the TCP
+  /// host, the same queued frame bytes).
+  virtual void multicast(Payload msg) = 0;
 
   /// One-shot timer after `delay`; returns a handle for cancel_timer.
   virtual TimerId set_timer(Duration delay, TimerFn fn) = 0;

@@ -38,9 +38,14 @@ enum class HostKind {
 
 /// Transport totals a host can report. The simulated host counts through
 /// its cost model; the TCP host counts frames actually queued on sockets.
+/// The syscall-amortization counters (writev_calls, frames_sent, wakeups)
+/// are TCP-only and stay zero on the simulator.
 struct HostCounters {
   std::uint64_t messages_sent = 0;     // accepted sends, incl. self
   std::uint64_t wire_bytes_sent = 0;   // incl. framing, excl. loopback
+  std::uint64_t frames_sent = 0;       // frames fully written to a socket
+  std::uint64_t writev_calls = 0;      // flush syscalls issued
+  std::uint64_t wakeups = 0;           // wake-pipe writes (cross-thread)
 };
 
 class Host {

@@ -14,8 +14,19 @@ SimEnv::SimEnv(sim::Scheduler& sched, net::SimNetwork& net, ProcessId self,
       rng_(rng),
       log_("p" + std::to_string(self), [&sched] { return sched.now(); }) {}
 
-void SimEnv::send(ProcessId dst, Bytes msg) {
+void SimEnv::send(ProcessId dst, Payload msg) {
   net_.send(self_, dst, std::move(msg));
+}
+
+void SimEnv::multicast(Payload msg) {
+  // One shared buffer, one accepted send per destination — the
+  // per-destination accounting (counters, cost model) is identical to a
+  // loop of point-to-point sends, which is what the simulated wire
+  // actually carries.
+  const std::uint32_t count = n();
+  for (ProcessId dst = 1; dst <= count; ++dst) {
+    if (dst != self_) net_.send(self_, dst, msg);
+  }
 }
 
 TimerId SimEnv::set_timer(Duration delay, TimerFn fn) {

@@ -21,10 +21,13 @@ class SimEnv final : public Env {
   SimEnv(sim::Scheduler& sched, net::SimNetwork& net, ProcessId self,
          Rng rng);
 
+  using Env::send;  // keep the Bytes convenience overload visible
+
   ProcessId self() const override { return self_; }
   std::uint32_t n() const override { return net_.n(); }
   TimePoint now() const override { return sched_.now(); }
-  void send(ProcessId dst, Bytes msg) override;
+  void send(ProcessId dst, Payload msg) override;
+  void multicast(Payload msg) override;
   TimerId set_timer(Duration delay, TimerFn fn) override;
   void cancel_timer(TimerId id) override;
   void defer(TimerFn fn) override;

@@ -17,16 +17,26 @@ void LayerContext::send(ProcessId dst, BytesView payload) const {
   stack_->send_from_layer(id_, dst, payload);
 }
 
+Payload LayerContext::make_frame(BytesView payload) const {
+  return stack_->encode_frame(id_, payload);
+}
+
+void LayerContext::send_frame(ProcessId dst, const Payload& frame) const {
+  stack_->env().send(dst, frame);
+}
+
+void LayerContext::multicast_frame(const Payload& frame) const {
+  stack_->env().multicast(frame);
+}
+
 void LayerContext::send_to_all(BytesView payload) const {
-  const std::uint32_t count = n();
-  for (ProcessId p = 1; p <= count; ++p) send(p, payload);
+  const Payload frame = make_frame(payload);
+  send_frame(self(), frame);  // loopback copy, same code path
+  multicast_frame(frame);
 }
 
 void LayerContext::send_to_others(BytesView payload) const {
-  const std::uint32_t count = n();
-  const ProcessId me = self();
-  for (ProcessId p = 1; p <= count; ++p)
-    if (p != me) send(p, payload);
+  multicast_frame(make_frame(payload));
 }
 
 TimerId LayerContext::set_timer(Duration delay, Env::TimerFn fn) const {
@@ -77,10 +87,14 @@ void Stack::dispatch(ProcessId from, BytesView envelope) {
 }
 
 void Stack::send_from_layer(LayerId id, ProcessId dst, BytesView payload) {
+  env_.send(dst, encode_frame(id, payload));
+}
+
+Payload Stack::encode_frame(LayerId id, BytesView payload) const {
   Writer w(payload.size() + 2);
   w.u16(id);
   w.raw(payload);
-  env_.send(dst, w.take());
+  return Payload::wrap(w.take());
 }
 
 }  // namespace ibc::runtime

@@ -16,6 +16,7 @@
 
 #include "runtime/env.hpp"
 #include "util/bytes.hpp"
+#include "util/payload.hpp"
 
 namespace ibc::runtime {
 
@@ -61,11 +62,26 @@ class LayerContext {
   /// Serializes an envelope for this layer and sends it to `dst`.
   void send(ProcessId dst, BytesView payload) const;
 
+  /// Serializes this layer's envelope around `payload` exactly once,
+  /// into shared ref-counted storage. The result can be sent to any
+  /// number of destinations (send_frame / multicast_frame) without
+  /// re-encoding or copying — the zero-copy multicast primitive.
+  Payload make_frame(BytesView payload) const;
+
+  /// Sends a pre-encoded frame (from make_frame) to `dst`.
+  void send_frame(ProcessId dst, const Payload& frame) const;
+
+  /// Sends a pre-encoded frame to every process except self in one
+  /// transport multicast: one encode, one shared buffer, n-1 queued
+  /// references.
+  void multicast_frame(const Payload& frame) const;
+
   /// Sends to every process including self (the paper's "send to all":
   /// the sender handles its own copy through the same code path).
+  /// Encodes once and shares the frame across all n destinations.
   void send_to_all(BytesView payload) const;
 
-  /// Sends to every process except self.
+  /// Sends to every process except self (encodes once, multicasts).
   void send_to_others(BytesView payload) const;
 
   TimerId set_timer(Duration delay, Env::TimerFn fn) const;
@@ -103,8 +119,9 @@ class Stack {
   /// Routes one incoming envelope (called by the Env receive handler).
   void dispatch(ProcessId from, BytesView envelope);
 
-  /// Wire helper used by LayerContext.
+  /// Wire helpers used by LayerContext.
   void send_from_layer(LayerId id, ProcessId dst, BytesView payload);
+  Payload encode_frame(LayerId id, BytesView payload) const;
 
  private:
   Env& env_;

@@ -154,6 +154,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   res.batches_sent = stats.batches_sent;
   res.msgs_per_batch_avg = stats.msgs_per_batch_avg;
   res.payload_bytes_copied = stats.payload_bytes_copied;
+  res.writev_calls = stats.writev_calls;
+  res.wakeups = stats.wakeups;
+  res.frames_per_writev_avg = stats.frames_per_writev_avg;
   return res;
 }
 

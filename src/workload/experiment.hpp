@@ -91,6 +91,11 @@ struct ExperimentResult {
   std::uint64_t batches_sent = 0;
   double msgs_per_batch_avg = 0.0;
   std::uint64_t payload_bytes_copied = 0;
+
+  // Transport-efficiency counters (TCP host only; zero on the sim).
+  std::uint64_t writev_calls = 0;
+  std::uint64_t wakeups = 0;
+  double frames_per_writev_avg = 0.0;
 };
 
 /// Runs one experiment to completion and returns its measurements.

@@ -40,6 +40,15 @@ class EchoLayer final : public Layer {
     ctx_.send_to_others(w.view());
   }
 
+  /// The explicit frame API: encode once, send the shared frame twice.
+  void say_others_frame_twice(std::string_view text) {
+    Writer w;
+    w.str(text);
+    const Payload frame = ctx_.make_frame(w.view());
+    ctx_.multicast_frame(frame);
+    ctx_.multicast_frame(frame);
+  }
+
   LayerContext& ctx() { return ctx_; }
 
   bool started = false;
@@ -101,6 +110,30 @@ TEST(Stack, SendToOthersExcludesSelf) {
   EXPECT_TRUE(f.layer_a(2).received.empty());
   EXPECT_EQ(f.layer_a(1).received.size(), 1u);
   EXPECT_EQ(f.layer_a(3).received.size(), 1u);
+}
+
+TEST(Stack, MulticastCountsPerDestination) {
+  // Env::multicast must keep the old loop-of-sends accounting: one
+  // accepted send per destination, nothing for self.
+  Fixture f;
+  const std::uint64_t before = f.cluster.network().messages_sent_by(2);
+  f.layer_a(2).say_others("shared");
+  f.cluster.run_for(seconds(1));
+  EXPECT_EQ(f.cluster.network().messages_sent_by(2), before + 2);
+  EXPECT_EQ(f.layer_a(1).received.size(), 1u);
+  EXPECT_EQ(f.layer_a(3).received.size(), 1u);
+  EXPECT_TRUE(f.layer_a(2).received.empty());
+}
+
+TEST(Stack, PreEncodedFrameCanBeMulticastRepeatedly) {
+  Fixture f;
+  f.layer_a(2).say_others_frame_twice("re-used frame");
+  f.cluster.run_for(seconds(1));
+  ASSERT_EQ(f.layer_a(1).received.size(), 2u);
+  ASSERT_EQ(f.layer_a(3).received.size(), 2u);
+  EXPECT_EQ(f.layer_a(1).received[0].second, "re-used frame");
+  EXPECT_EQ(f.layer_a(1).received[1].second, "re-used frame");
+  EXPECT_TRUE(f.layer_a(2).received.empty());
 }
 
 TEST(Stack, ContextExposesIdentity) {
