@@ -45,6 +45,7 @@ class AbcastIds final : public core::AbcastService {
   const Batcher* batcher() const override { return &batcher_; }
 
   const core::OrderingCore& ordering() const { return core_; }
+  core::OrderingCore& mutable_ordering() { return core_; }
 
  private:
   runtime::Env& env_;

@@ -30,6 +30,19 @@ bool is_correct_stack(const StackConfig& config) {
            config.rb != RbKind::kUniform);
 }
 
+namespace {
+
+void apply_injected_bugs(const StackConfig& config,
+                         core::OrderingCore* ordering) {
+  if (config.bugs.skip_ordering_dedup) {
+    IBC_REQUIRE_MSG(ordering != nullptr,
+                    "skip_ordering_dedup needs an id-ordering stack");
+    ordering->set_skip_dedup_for_test(true);
+  }
+}
+
+}  // namespace
+
 ProcessStack::ProcessStack(runtime::Host& host, ProcessId p,
                            const StackConfig& config)
     : stack_(host.env(p)) {
@@ -80,6 +93,7 @@ ProcessStack::ProcessStack(runtime::Host& host, ProcessId p,
     abcast_ = std::make_unique<core::AbcastIndirect>(
         env, *bcast_, *indirect_consensus_, config.pipeline_depth,
         config.batch);
+    apply_injected_bugs(config, mutable_ordering());
     return;
   }
 
@@ -98,6 +112,7 @@ ProcessStack::ProcessStack(runtime::Host& host, ProcessId p,
                                           config.pipeline_depth,
                                           config.batch);
   }
+  apply_injected_bugs(config, mutable_ordering());
 }
 
 const core::OrderingCore* ProcessStack::ordering() const {
@@ -107,6 +122,16 @@ const core::OrderingCore* ProcessStack::ordering() const {
   }
   if (const auto* ids = dynamic_cast<const AbcastIds*>(abcast_.get())) {
     return &ids->ordering();
+  }
+  return nullptr;
+}
+
+core::OrderingCore* ProcessStack::mutable_ordering() {
+  if (auto* ind = dynamic_cast<core::AbcastIndirect*>(abcast_.get())) {
+    return &ind->mutable_ordering();
+  }
+  if (auto* ids = dynamic_cast<AbcastIds*>(abcast_.get())) {
+    return &ids->mutable_ordering();
   }
   return nullptr;
 }

@@ -62,6 +62,16 @@ struct StackConfig {
   /// abroadcast is one R-broadcast frame, the paper's Algorithm 1. See
   /// docs/PROTOCOL.md D5.
   BatchConfig batch = {};
+  /// Deliberate protocol defects, used only by the scenario fuzzer's
+  /// self-test to prove its invariant oracle and shrinker catch real
+  /// bugs. Never set these in production configurations.
+  struct InjectedBugs {
+    /// Disable OrderingCore's apply-time dedup (see
+    /// `OrderingCore::set_skip_dedup_for_test`): at W > 1, overlapping
+    /// decisions double-order an id and permanently block the head.
+    bool skip_ordering_dedup = false;
+  };
+  InjectedBugs bugs = {};
 };
 
 /// One-line human description, e.g. "indirect-CT + RB(n^2)" or
@@ -94,6 +104,7 @@ class ProcessStack {
   /// Algorithm-1 ordering state; nullptr for the kMsgs variant (which
   /// has no id-ordering queue).
   const core::OrderingCore* ordering() const;
+  core::OrderingCore* mutable_ordering();
 
   /// The abcast layer's sender-side batcher (dissemination counters).
   const Batcher* batcher() const { return abcast_->batcher(); }

@@ -48,6 +48,7 @@ class AbcastIndirect final : public AbcastService {
 
   /// Algorithm-1 state (test and demo observability).
   const OrderingCore& ordering() const { return core_; }
+  OrderingCore& mutable_ordering() { return core_; }
 
  private:
   runtime::Env& env_;

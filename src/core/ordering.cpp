@@ -68,7 +68,8 @@ void OrderingCore::apply_decision(consensus::InstanceId k,
   // exactly-once A-delivery. Every process applies the same decisions in
   // the same order, so every process skips the same ids.
   for (const MessageId& id : ids) {
-    if (delivered_.contains(id) || ordered_set_.contains(id)) {
+    if (!skip_dedup_for_test_ &&
+        (delivered_.contains(id) || ordered_set_.contains(id))) {
       ++ids_deduplicated_;
       continue;
     }

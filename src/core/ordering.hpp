@@ -124,6 +124,14 @@ class OrderingCore {
   /// is how the §2.2 validity violation manifests).
   std::optional<MessageId> blocked_head() const;
 
+  /// Test-only fault injection: disables the apply-time dedup guard, so
+  /// at window > 1 an id decided by two overlapping instances enters
+  /// `ordered` twice and permanently blocks the head at its second
+  /// occurrence (the payload was consumed by the first delivery). Exists
+  /// to prove the scenario fuzzer's oracle and shrinker catch a real
+  /// ordering-layer bug; never set outside tests.
+  void set_skip_dedup_for_test(bool skip) { skip_dedup_for_test_ = skip; }
+
  private:
   void maybe_start_instances();
   void apply_decision(consensus::InstanceId k, const IdSet& ids);
@@ -156,6 +164,7 @@ class OrderingCore {
   std::map<consensus::InstanceId, IdSet> pending_decisions_;
   std::size_t inflight_high_water_ = 0;
   std::uint64_t ids_deduplicated_ = 0;
+  bool skip_dedup_for_test_ = false;
 };
 
 }  // namespace ibc::core

@@ -1,0 +1,108 @@
+#include "net/faults.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace ibc::net {
+
+namespace {
+
+bool in_group(std::uint32_t group, ProcessId p) {
+  return p >= 1 && p <= 32 && ((group >> (p - 1)) & 1u) != 0;
+}
+
+}  // namespace
+
+bool FaultEvent::matches_link(ProcessId s, ProcessId d) const {
+  if (kind == FaultKind::kPartition || kind == FaultKind::kPartitionDrop) {
+    return in_group(group, s) != in_group(group, d);
+  }
+  return (src == 0 || src == s) && (dst == 0 || dst == d);
+}
+
+bool FaultPlan::lossless() const {
+  return std::none_of(events.begin(), events.end(),
+                      [](const FaultEvent& e) { return e.lossy(); });
+}
+
+TimePoint FaultPlan::quiet_after() const {
+  TimePoint latest = 0;
+  for (const FaultEvent& e : events) latest = std::max(latest, e.until);
+  return latest;
+}
+
+const char* to_string(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kPartition: return "partition";
+    case FaultKind::kPartitionDrop: return "partition_drop";
+    case FaultKind::kDelay: return "delay";
+    case FaultKind::kDrop: return "drop";
+    case FaultKind::kDuplicate: return "duplicate";
+    case FaultKind::kReorder: return "reorder";
+  }
+  return "?";
+}
+
+std::optional<FaultKind> parse_fault_kind(std::string_view token) {
+  if (token == "partition") return FaultKind::kPartition;
+  if (token == "partition_drop") return FaultKind::kPartitionDrop;
+  if (token == "delay") return FaultKind::kDelay;
+  if (token == "drop") return FaultKind::kDrop;
+  if (token == "duplicate") return FaultKind::kDuplicate;
+  if (token == "reorder") return FaultKind::kReorder;
+  return std::nullopt;
+}
+
+std::string to_text(const FaultEvent& event) {
+  // Fixed field order so parse_fault_event is a plain positional read;
+  // prob prints with enough digits to round-trip the fuzzer's draws.
+  char buf[192];
+  std::snprintf(buf, sizeof buf, "%s %lld %lld %u %u %u %lld %.9g",
+                to_string(event.kind),
+                static_cast<long long>(event.from),
+                static_cast<long long>(event.until), event.src, event.dst,
+                event.group, static_cast<long long>(event.extra),
+                event.prob);
+  return buf;
+}
+
+std::string to_text(const FaultPlan& plan) {
+  std::string out;
+  for (const FaultEvent& e : plan.events) {
+    out += to_text(e);
+    out += '\n';
+  }
+  return out;
+}
+
+std::optional<FaultEvent> parse_fault_event(std::string_view line) {
+  std::istringstream in{std::string(line)};
+  std::string kind_token;
+  long long from = 0, until = 0, extra = 0;
+  ProcessId src = 0, dst = 0;
+  std::uint32_t group = 0;
+  double prob = 1.0;
+  if (!(in >> kind_token >> from >> until >> src >> dst >> group >> extra >>
+        prob)) {
+    return std::nullopt;
+  }
+  const std::optional<FaultKind> kind = parse_fault_kind(kind_token);
+  if (!kind || from < 0 || until < from || extra < 0 || prob < 0.0 ||
+      prob > 1.0) {
+    return std::nullopt;
+  }
+  FaultEvent e;
+  e.kind = *kind;
+  e.from = from;
+  e.until = until;
+  e.src = src;
+  e.dst = dst;
+  e.group = group;
+  e.extra = extra;
+  e.prob = prob;
+  return e;
+}
+
+}  // namespace ibc::net

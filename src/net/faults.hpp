@@ -1,0 +1,109 @@
+// Hostile-network fault programs for the simulated LAN.
+//
+// The paper specifies the algorithm for an asynchronous network: messages
+// may be delayed arbitrarily, reordered across links, and (outside the
+// quasi-reliable-channel assumption) lost or duplicated. The benign
+// SimNetwork models none of that — propagation jitter is smaller than the
+// propagation floor, so not even per-link reordering can occur. A
+// `FaultPlan` is a schedule of adversary interventions, applied the
+// instant a message leaves the sender's NIC:
+//
+//   kPartition      a cut between one side and the rest. *Buffering*
+//                   semantics: crossing messages are held and released
+//                   when the cut heals — the reliable-channel reading of
+//                   a partition (TCP retransmits after the cable is
+//                   plugged back in), so liveness properties remain
+//                   checkable. A held message whose sender crashes before
+//                   the heal is lost with the sender.
+//   kPartitionDrop  the same cut with *lossy* semantics: crossing
+//                   messages are discarded. Violates the channel
+//                   assumption on purpose — safety must still hold,
+//                   liveness is exempt.
+//   kDelay          fixed extra one-way latency on matching links
+//                   (asymmetric: src->dst only, unless wildcarded).
+//   kDrop           discard matching messages with probability `prob`.
+//   kDuplicate      deliver matching messages twice with probability
+//                   `prob` (the copy takes an independent jitter draw).
+//   kReorder        add a uniform random extra delay in [0, `extra`] to
+//                   each matching message, so later messages overtake
+//                   earlier ones on the same link.
+//
+// Every event is active on the half-open sim-time window [from, until).
+// Plans serialize to a line-oriented text form (`to_text` / `parse_*`)
+// so the scenario fuzzer can emit replayable repro files.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace ibc::net {
+
+enum class FaultKind : std::uint8_t {
+  kPartition,      // buffering cut (heals at `until`)
+  kPartitionDrop,  // lossy cut
+  kDelay,          // fixed extra one-way latency
+  kDrop,           // probabilistic discard
+  kDuplicate,      // probabilistic duplication
+  kReorder,        // random extra delay in [0, extra]
+};
+
+/// One scheduled adversary intervention. Link selectors `src`/`dst` use
+/// 0 as a wildcard; partitions ignore them and cut every link between
+/// the processes in `group` (bit p-1) and the rest.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kDelay;
+  TimePoint from = 0;   // activation (inclusive)
+  TimePoint until = 0;  // deactivation / heal (exclusive)
+  ProcessId src = 0;    // 0 = any sender
+  ProcessId dst = 0;    // 0 = any receiver
+  /// kPartition / kPartitionDrop: bitmask of the processes on side A
+  /// (bit p-1). A message is cut iff its endpoints are on opposite
+  /// sides.
+  std::uint32_t group = 0;
+  /// kDelay: the added latency; kReorder: the maximum added latency.
+  Duration extra = 0;
+  /// kDrop / kDuplicate: per-message probability.
+  double prob = 1.0;
+
+  bool active_at(TimePoint now) const { return from <= now && now < until; }
+  bool matches_link(ProcessId s, ProcessId d) const;
+  /// True for the kinds that can discard a message (break the
+  /// quasi-reliable-channel assumption).
+  bool lossy() const {
+    return kind == FaultKind::kDrop || kind == FaultKind::kPartitionDrop;
+  }
+};
+
+/// A whole adversary schedule: just the event list, plus the queries the
+/// network and the fuzzer's oracle need.
+struct FaultPlan {
+  std::vector<FaultEvent> events;
+
+  bool empty() const { return events.empty(); }
+  /// True iff no event can discard a message — the oracle checks
+  /// liveness properties (validity, agreement, no blocked head) only for
+  /// lossless plans.
+  bool lossless() const;
+  /// Latest `until` over all events (0 for an empty plan) — the time by
+  /// which the network is benign again.
+  TimePoint quiet_after() const;
+};
+
+/// `"<kind> from=<ns> until=<ns> ..."` — one line, no trailing newline.
+std::string to_text(const FaultEvent& event);
+/// Whole plan, one event per line.
+std::string to_text(const FaultPlan& plan);
+
+/// Inverse of `to_text(FaultEvent)`; nullopt on malformed input.
+std::optional<FaultEvent> parse_fault_event(std::string_view line);
+
+const char* to_string(FaultKind kind);
+std::optional<FaultKind> parse_fault_kind(std::string_view token);
+
+}  // namespace ibc::net

@@ -17,6 +17,7 @@ SimNetwork::SimNetwork(sim::Scheduler& sched, std::uint32_t n,
       n_(n),
       model_(model),
       rng_(rng.fork("simnet")),
+      adv_rng_(rng.fork("adversary")),
       crashed_(n + 1, false),
       cpu_busy_until_(n + 1, 0),
       nics_(n + 1),
@@ -72,7 +73,7 @@ void SimNetwork::send(ProcessId src, ProcessId dst, Payload msg) {
     // The CPU task dies with the process: a crash between enqueue and
     // completion drops the message before it reaches the NIC.
     if (crashed_[src]) {
-      ++counters_.messages_dropped;
+      ++counters_.dropped_crash;
       return;
     }
     nic_add(src, dst, msg);
@@ -119,7 +120,7 @@ void SimNetwork::nic_update(ProcessId src) {
     if (nic.active[i].remaining_bytes <= kByteEpsilon) {
       Transfer done = std::move(nic.active[i]);
       nic.active.erase(nic.active.begin() + static_cast<std::ptrdiff_t>(i));
-      wire_transit(src, done.dst, std::move(done.msg));
+      leave_nic(src, done.dst, std::move(done.msg));
     } else {
       ++i;
     }
@@ -139,8 +140,77 @@ void SimNetwork::nic_update(ProcessId src) {
                             [this, src] { nic_update(src); });
 }
 
-void SimNetwork::wire_transit(ProcessId src, ProcessId dst, Payload msg) {
-  const Duration transit = model_.propagation + draw_jitter();
+void SimNetwork::leave_nic(ProcessId src, ProcessId dst, Payload msg) {
+  if (faults_.empty()) {
+    wire_transit(src, dst, std::move(msg));
+    return;
+  }
+  const TimePoint now = sched_.now();
+  // Pass 1: a buffering cut parks the message until the earliest heal
+  // among the cuts covering this link; the release re-runs the whole
+  // checkpoint in case another fault is active then.
+  TimePoint release = 0;
+  for (const FaultEvent& e : faults_.events) {
+    if (e.kind != FaultKind::kPartition) continue;
+    if (!e.active_at(now) || !e.matches_link(src, dst)) continue;
+    if (release == 0 || e.until < release) release = e.until;
+  }
+  if (release != 0) {
+    ++counters_.delayed_fault;
+    sched_.schedule_at(release, [this, src, dst, msg = std::move(msg)] {
+      release_held(src, dst, msg);
+    });
+    return;
+  }
+  // Pass 2: lossy faults. One matching cut/drop kills the message.
+  for (const FaultEvent& e : faults_.events) {
+    if (!e.lossy()) continue;
+    if (!e.active_at(now) || !e.matches_link(src, dst)) continue;
+    if (e.kind == FaultKind::kPartitionDrop ||
+        adv_rng_.next_double() < e.prob) {
+      ++counters_.dropped_fault;
+      return;
+    }
+  }
+  // Pass 3: extra latency (fixed kDelay + random kReorder), summed over
+  // all matching events so stacked faults compose.
+  Duration extra = 0;
+  for (const FaultEvent& e : faults_.events) {
+    if (!e.active_at(now) || !e.matches_link(src, dst)) continue;
+    if (e.kind == FaultKind::kDelay) {
+      extra += e.extra;
+    } else if (e.kind == FaultKind::kReorder && e.extra > 0) {
+      extra += adv_rng_.next_in(0, e.extra);
+    }
+  }
+  if (extra > 0) ++counters_.delayed_fault;
+  // Pass 4: duplication — the copy takes its own jitter/extra-delay
+  // draws downstream, so it may overtake the original.
+  for (const FaultEvent& e : faults_.events) {
+    if (e.kind != FaultKind::kDuplicate) continue;
+    if (!e.active_at(now) || !e.matches_link(src, dst)) continue;
+    if (adv_rng_.next_double() < e.prob) {
+      ++counters_.duplicated_fault;
+      wire_transit(src, dst, msg, extra);
+      break;  // at most one extra copy per message
+    }
+  }
+  wire_transit(src, dst, std::move(msg), extra);
+}
+
+void SimNetwork::release_held(ProcessId src, ProcessId dst, Payload msg) {
+  // A held message rides the sender's (conceptual) retransmission
+  // buffer: if the sender died during the cut, it is lost with the host.
+  if (crashed_[src]) {
+    ++counters_.dropped_crash;
+    return;
+  }
+  leave_nic(src, dst, std::move(msg));
+}
+
+void SimNetwork::wire_transit(ProcessId src, ProcessId dst, Payload msg,
+                              Duration extra_delay) {
+  const Duration transit = model_.propagation + draw_jitter() + extra_delay;
   sched_.schedule_after(transit, [this, src, dst, msg = std::move(msg)] {
     arrive(src, dst, msg);
   });
@@ -148,7 +218,7 @@ void SimNetwork::wire_transit(ProcessId src, ProcessId dst, Payload msg) {
 
 void SimNetwork::arrive(ProcessId src, ProcessId dst, Payload msg) {
   if (crashed_[dst]) {
-    ++counters_.messages_dropped;
+    ++counters_.dropped_crash;
     return;
   }
   const Duration cost =
@@ -166,7 +236,7 @@ void SimNetwork::deliver_now(ProcessId src, ProcessId dst, Payload msg) {
   if (delivered_hook_) delivered_hook_(src, dst, msg);
   // The hook may have crashed the destination (scripted scenarios).
   if (crashed_[dst]) {
-    ++counters_.messages_dropped;
+    ++counters_.dropped_crash;
     return;
   }
   IBC_ASSERT_MSG(deliver_ != nullptr, "SimNetwork: no deliver callback set");
@@ -180,7 +250,7 @@ void SimNetwork::crash(ProcessId p) {
 
   // Outgoing transfers die with the host; partially-sent data is lost.
   Nic& nic = nics_[p];
-  counters_.messages_dropped += nic.active.size();
+  counters_.dropped_crash += nic.active.size();
   nic.active.clear();
   if (nic.completion_event != 0) {
     sched_.cancel(nic.completion_event);

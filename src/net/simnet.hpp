@@ -14,6 +14,13 @@
 // host dying mid-TCP-stream and is what makes the paper's §2.2
 // validity-violation scenario reproducible.
 //
+// A `FaultPlan` (faults.hpp) turns the benign LAN hostile: scheduled
+// partitions (buffering or lossy), asymmetric one-way delays, and
+// drop/duplicate/reorder bursts, applied per message the instant it
+// leaves the sender's NIC. Adversary randomness draws from a dedicated
+// RNG stream, so installing an empty plan is bit-identical to no plan —
+// and a given (seed, plan) pair replays the exact same execution.
+//
 // The NIC uses processor sharing across concurrent outgoing transfers
 // (concurrent TCP streams on one link), so a small consensus message can
 // complete while a large payload is still streaming.
@@ -23,6 +30,7 @@
 #include <memory>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "net/netmodel.hpp"
 #include "sim/scheduler.hpp"
 #include "util/bytes.hpp"
@@ -67,6 +75,12 @@ class SimNetwork {
     send(src, dst, Payload::wrap(std::move(msg)));
   }
 
+  /// Installs the adversary schedule. Must be set before the first send
+  /// whose transit the plan should shape; events already in flight are
+  /// not revisited. Loopback (self) deliveries are never faulted.
+  void set_fault_plan(FaultPlan plan) { faults_ = std::move(plan); }
+  const FaultPlan& fault_plan() const { return faults_; }
+
   /// Crashes `p` now: all its pending CPU work and outgoing NIC transfers
   /// are dropped, future sends/receives are ignored, crash listeners fire.
   /// Idempotent.
@@ -101,7 +115,10 @@ class SimNetwork {
   struct Counters {
     std::uint64_t messages_sent = 0;       // accepted sends (incl. self)
     std::uint64_t messages_delivered = 0;  // reached a live destination
-    std::uint64_t messages_dropped = 0;    // lost to crashes
+    std::uint64_t dropped_crash = 0;       // lost to process crashes
+    std::uint64_t dropped_fault = 0;       // discarded by the adversary
+    std::uint64_t duplicated_fault = 0;    // extra copies injected
+    std::uint64_t delayed_fault = 0;       // held by a cut or delayed
     std::uint64_t payload_bytes_sent = 0;  // excl. header_bytes
     std::uint64_t wire_bytes_sent = 0;     // incl. header, excl. loopback
   };
@@ -125,12 +142,22 @@ class SimNetwork {
   /// Appends `cost` to p's CPU queue; returns the completion time.
   TimePoint cpu_enqueue(ProcessId p, Duration cost);
 
+  /// Adversary checkpoint between NIC and wire: applies the fault plan
+  /// to one message (hold, drop, duplicate, delay) or hands it to
+  /// `wire_transit` untouched.
+  void leave_nic(ProcessId src, ProcessId dst, Payload msg);
+  /// Releases a message a buffering partition held: re-runs the
+  /// adversary checkpoint (another cut may still be active), unless the
+  /// sender died while the message was parked.
+  void release_held(ProcessId src, ProcessId dst, Payload msg);
+
   void nic_add(ProcessId src, ProcessId dst, Payload msg);
   /// Advances PS accounting of src's NIC to `now`, completes finished
   /// transfers (handing them to the wire), and reschedules the next
   /// completion event.
   void nic_update(ProcessId src);
-  void wire_transit(ProcessId src, ProcessId dst, Payload msg);
+  void wire_transit(ProcessId src, ProcessId dst, Payload msg,
+                    Duration extra_delay = 0);
   void arrive(ProcessId src, ProcessId dst, Payload msg);
   void deliver_now(ProcessId src, ProcessId dst, Payload msg);
 
@@ -144,6 +171,11 @@ class SimNetwork {
   std::uint32_t n_;
   NetModel model_;
   Rng rng_;
+  /// Adversary randomness is a separate stream: a run with an empty
+  /// plan draws nothing from it, so pre-adversary executions replay
+  /// bit-identically.
+  Rng adv_rng_;
+  FaultPlan faults_;
 
   DeliverFn deliver_;
   MessageHook sent_hook_;

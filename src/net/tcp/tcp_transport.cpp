@@ -552,6 +552,43 @@ std::uint32_t TcpCluster::alive_count() const {
   return alive;
 }
 
+void TcpCluster::write_raw_for_test(ProcessId src, ProcessId dst,
+                                    const Bytes& bytes) {
+  IBC_REQUIRE(src >= 1 && src <= n() && dst >= 1 && dst <= n() &&
+              src != dst);
+  // run_on blocks until the closure ran, so capturing `bytes` by
+  // reference is safe and the test observes a completed write.
+  run_on(src, [this, src, dst, &bytes] {
+    TcpEnv::Peer& peer = envs_[src]->peers_[dst];
+    IBC_REQUIRE_MSG(peer.open && !peer.has_backlog(),
+                    "raw writes need an open, idle link");
+    std::size_t off = 0;
+    while (off < bytes.size()) {
+      const ssize_t wrote =
+          ::send(peer.fd.get(), bytes.data() + off, bytes.size() - off,
+                 MSG_NOSIGNAL);
+      if (wrote < 0 &&
+          (errno == EAGAIN || errno == EWOULDBLOCK || errno == EINTR)) {
+        continue;  // test writes are tiny; spinning is fine
+      }
+      IBC_REQUIRE(wrote > 0);
+      off += static_cast<std::size_t>(wrote);
+    }
+  });
+}
+
+void TcpCluster::close_link_for_test(ProcessId src, ProcessId dst) {
+  IBC_REQUIRE(src >= 1 && src <= n() && dst >= 1 && dst <= n() &&
+              src != dst);
+  run_on(src, [this, src, dst] {
+    TcpEnv::Peer& peer = envs_[src]->peers_[dst];
+    peer.open = false;
+    peer.fd.reset();
+    peer.outq.clear();
+    peer.out_offset = 0;
+  });
+}
+
 runtime::HostCounters TcpCluster::counters() const {
   return runtime::HostCounters{
       messages_sent_.load(std::memory_order_relaxed),

@@ -227,6 +227,19 @@ class TcpCluster final : public runtime::Host {
 
   runtime::HostCounters counters() const override;
 
+  /// Test seam (tcp_test): writes raw bytes on the mesh socket
+  /// src -> dst, on src's reactor thread so the write serializes with
+  /// the writev flush. Lets tests split a frame — header included —
+  /// across TCP segments and exercise the receiver's reassembly on a
+  /// real connection.
+  void write_raw_for_test(ProcessId src, ProcessId dst,
+                          const Bytes& bytes);
+
+  /// Test seam (tcp_test): tears down src's end of the src -> dst link
+  /// (dst observes a connection reset, as after a crash). Idempotent;
+  /// the rest of the mesh is untouched.
+  void close_link_for_test(ProcessId src, ProcessId dst);
+
  private:
   TimePoint epoch_ns_ = 0;
   std::vector<std::unique_ptr<TcpEnv>> envs_;  // [1..n]

@@ -28,6 +28,12 @@ std::unique_ptr<runtime::Host> make_host(const ClusterOptions& options) {
 
 Cluster::Cluster(const ClusterOptions& options)
     : host_(make_host(options)) {
+  if (!options.faults.empty()) {
+    net::SimNetwork* net = host_->sim_network();
+    IBC_REQUIRE_MSG(net != nullptr,
+                    "fault plans need the simulated host (kSim)");
+    net->set_fault_plan(options.faults);
+  }
   logs_.resize(options.n + 1);
   nodes_.reserve(options.n);
   const abcast::StackConfig stack = options.effective_stack();
@@ -182,6 +188,10 @@ ClusterStats Cluster::stats() {
   stats.wire_bytes_sent = wire.wire_bytes_sent;
   stats.writev_calls = wire.writev_calls;
   stats.wakeups = wire.wakeups;
+  stats.dropped_crash = wire.dropped_crash;
+  stats.dropped_fault = wire.dropped_fault;
+  stats.duplicated_fault = wire.duplicated_fault;
+  stats.delayed_fault = wire.delayed_fault;
   stats.frames_per_writev_avg =
       wire.writev_calls == 0
           ? 0.0

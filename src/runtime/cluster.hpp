@@ -30,6 +30,7 @@
 
 #include "abcast/stack_builder.hpp"
 #include "core/abcast_service.hpp"
+#include "net/faults.hpp"
 #include "net/netmodel.hpp"
 #include "runtime/host.hpp"
 #include "util/bytes.hpp"
@@ -62,6 +63,9 @@ struct ClusterOptions {
   runtime::HostKind host = runtime::HostKind::kSim;
   net::NetModel model = net::NetModel::fast_test();  // kSim only
   std::vector<ClusterCrash> crashes;
+  /// Hostile-network schedule (kSim only): partitions, delays,
+  /// drop/duplicate/reorder bursts composed with the crash schedule.
+  net::FaultPlan faults;
   /// Record every A-delivery (id, payload, time) in the cluster's
   /// per-process logs. On by default — it powers `log`, `delivered`,
   /// `prefix_consistent` and `run_until_quiesced`. Turn it off for
@@ -136,6 +140,16 @@ struct ClusterOptions {
     crashes.push_back(ClusterCrash{at, process});
     return *this;
   }
+  /// Installs the adversary schedule (replaces any previous plan).
+  ClusterOptions& with_faults(net::FaultPlan plan) {
+    faults = std::move(plan);
+    return *this;
+  }
+  /// Appends one adversary event to the plan.
+  ClusterOptions& with_fault(const net::FaultEvent& event) {
+    faults.events.push_back(event);
+    return *this;
+  }
 };
 
 /// Aggregated run statistics (see Cluster::stats()).
@@ -163,6 +177,11 @@ struct ClusterStats {
   std::uint64_t writev_calls = 0;        // flush syscalls issued
   std::uint64_t wakeups = 0;             // wake-pipe writes (cross-thread)
   double frames_per_writev_avg = 0.0;    // frames flushed / writev calls
+  // Fault accounting (sim host only): crash losses vs adversary action.
+  std::uint64_t dropped_crash = 0;       // messages lost to crashes
+  std::uint64_t dropped_fault = 0;       // discarded by the fault plan
+  std::uint64_t duplicated_fault = 0;    // extra copies injected
+  std::uint64_t delayed_fault = 0;       // held by a cut or delayed
 };
 
 class Cluster {

@@ -46,6 +46,11 @@ struct HostCounters {
   std::uint64_t frames_sent = 0;       // frames fully written to a socket
   std::uint64_t writev_calls = 0;      // flush syscalls issued
   std::uint64_t wakeups = 0;           // wake-pipe writes (cross-thread)
+  // Fault accounting (sim host only; TCP has no adversary layer).
+  std::uint64_t dropped_crash = 0;     // messages lost to process crashes
+  std::uint64_t dropped_fault = 0;     // discarded by the fault plan
+  std::uint64_t duplicated_fault = 0;  // extra copies the adversary made
+  std::uint64_t delayed_fault = 0;     // held by a cut or delayed
 };
 
 class Host {

@@ -95,8 +95,15 @@ class SimCluster final : public Host {
   TimePoint now() const override { return sched_.now(); }
 
   HostCounters counters() const override {
-    return HostCounters{net_.counters().messages_sent,
-                        net_.counters().wire_bytes_sent};
+    const net::SimNetwork::Counters& c = net_.counters();
+    HostCounters out;
+    out.messages_sent = c.messages_sent;
+    out.wire_bytes_sent = c.wire_bytes_sent;
+    out.dropped_crash = c.dropped_crash;
+    out.dropped_fault = c.dropped_fault;
+    out.duplicated_fault = c.duplicated_fault;
+    out.delayed_fault = c.delayed_fault;
+    return out;
   }
 
   net::SimNetwork* sim_network() override { return &net_; }

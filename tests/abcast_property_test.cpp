@@ -60,6 +60,7 @@ class AbcastProperties : public ::testing::TestWithParam<Param> {};
 
 TEST_P(AbcastProperties, HoldsUnderRandomTrafficAndCrashes) {
   const Param param = GetParam();
+  SCOPED_TRACE(repro_hint(param.seed));
   if (param.crashes > max_crashes(param))
     GTEST_SKIP() << "beyond this stack's resilience";
 

@@ -25,6 +25,7 @@
 
 #include "abcast/abcast_msgs.hpp"
 #include "abcast/batcher.hpp"
+#include "harness.hpp"
 #include "runtime/cluster.hpp"
 
 namespace ibc {
@@ -118,6 +119,7 @@ class BatchingSweep : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BatchingSweep, EveryBatchAndWindowDeliversExactlyOnceInAgreement) {
   const std::uint64_t seed = GetParam();
+  SCOPED_TRACE(test::repro_hint(seed));
   std::vector<MessageId> baseline;
   for (const std::uint32_t w : {1u, 4u}) {
     for (const std::size_t b : {std::size_t{1}, std::size_t{4},
@@ -148,6 +150,7 @@ TEST_P(BatchingSweep, SingleSenderSameTotalOrderForEveryBatchAndWindow) {
   // every (B, W) must deliver the identical (sequence-ordered) total
   // order for the same seed.
   const std::uint64_t seed = GetParam();
+  SCOPED_TRACE(test::repro_hint(seed));
   std::vector<MessageId> baseline;
   for (const std::uint32_t w : {1u, 4u}) {
     for (const std::size_t b : {std::size_t{1}, std::size_t{4},

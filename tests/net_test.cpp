@@ -120,7 +120,7 @@ TEST(SimNetwork, CrashDropsQueuedCpuWork) {
   f.net.crash(1);  // before the send's CPU task completes
   f.sched.run_all();
   EXPECT_TRUE(f.events.empty());
-  EXPECT_EQ(f.net.counters().messages_dropped, 1u);
+  EXPECT_EQ(f.net.counters().dropped_crash, 1u);
 }
 
 TEST(SimNetwork, CrashAbortsNicTransfers) {
@@ -147,7 +147,8 @@ TEST(SimNetwork, ArrivalAtCrashedDestinationDropped) {
   f.net.crash_at(microseconds(50), 2);
   f.sched.run_all();
   EXPECT_TRUE(f.events.empty());
-  EXPECT_EQ(f.net.counters().messages_dropped, 1u);
+  EXPECT_EQ(f.net.counters().dropped_crash, 1u);
+  EXPECT_EQ(f.net.counters().dropped_fault, 0u);
 }
 
 TEST(SimNetwork, CrashedProcessCannotSend) {
@@ -216,6 +217,225 @@ TEST(SimNetwork, ZeroByteMessageDelivered) {
   f.sched.run_all();
   ASSERT_EQ(f.events.size(), 1u);
   EXPECT_EQ(f.events[0].size, 0u);
+}
+
+// --- Adversary layer -------------------------------------------------
+
+FaultEvent make_fault(FaultKind kind, TimePoint from, TimePoint until) {
+  FaultEvent e;
+  e.kind = kind;
+  e.from = from;
+  e.until = until;
+  return e;
+}
+
+TEST(SimNetworkFaults, BufferingPartitionHoldsUntilHeal) {
+  Fixture f(simple_model());
+  FaultEvent cut = make_fault(FaultKind::kPartition, 0, milliseconds(10));
+  cut.group = 1u << 0;  // {1} vs {2,3}
+  f.net.set_fault_plan(FaultPlan{{cut}});
+  f.net.send(1, 2, Bytes(10, 1));
+  f.sched.run_all();
+  // Held at the cut, released at the 10ms heal, then normal transit.
+  ASSERT_EQ(f.events.size(), 1u);
+  EXPECT_GE(f.events[0].at, milliseconds(10) + microseconds(100 + 20));
+  EXPECT_EQ(f.net.counters().delayed_fault, 1u);
+  EXPECT_EQ(f.net.counters().dropped_fault, 0u);
+}
+
+TEST(SimNetworkFaults, PartitionOnlyCutsCrossingLinks) {
+  Fixture f(simple_model());
+  FaultEvent cut = make_fault(FaultKind::kPartition, 0, seconds(10));
+  cut.group = 1u << 0;  // {1} vs {2,3}
+  f.net.set_fault_plan(FaultPlan{{cut}});
+  f.net.send(2, 3, Bytes(10, 1));  // same side: unaffected
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 1u);
+  EXPECT_EQ(f.events[0].at, microseconds(10 + 10 + 100 + 20));
+  EXPECT_EQ(f.net.counters().delayed_fault, 0u);
+}
+
+TEST(SimNetworkFaults, HeldMessageDiesWithCrashedSender) {
+  Fixture f(simple_model());
+  FaultEvent cut = make_fault(FaultKind::kPartition, 0, milliseconds(10));
+  cut.group = 1u << 0;
+  f.net.set_fault_plan(FaultPlan{{cut}});
+  f.net.send(1, 2, Bytes(10, 1));
+  f.net.crash_at(milliseconds(5), 1);  // dies while the message is parked
+  f.sched.run_all();
+  EXPECT_TRUE(f.events.empty());
+  EXPECT_EQ(f.net.counters().dropped_crash, 1u);
+}
+
+TEST(SimNetworkFaults, LossyPartitionDropsAndCounts) {
+  Fixture f(simple_model());
+  FaultEvent cut = make_fault(FaultKind::kPartitionDrop, 0, seconds(1));
+  cut.group = 1u << 1;  // {2} vs {1,3}
+  f.net.set_fault_plan(FaultPlan{{cut}});
+  f.net.send(1, 2, Bytes(10, 1));  // crosses: dropped
+  f.net.send(1, 3, Bytes(10, 1));  // same side: delivered
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 1u);
+  EXPECT_EQ(f.events[0].dst, 3u);
+  EXPECT_EQ(f.net.counters().dropped_fault, 1u);
+  EXPECT_EQ(f.net.counters().dropped_crash, 0u);
+}
+
+TEST(SimNetworkFaults, AsymmetricDelayIsOneWay) {
+  Fixture f(simple_model());
+  FaultEvent slow = make_fault(FaultKind::kDelay, 0, seconds(10));
+  slow.src = 1;
+  slow.dst = 2;
+  slow.extra = milliseconds(5);
+  f.net.set_fault_plan(FaultPlan{{slow}});
+  f.net.send(1, 2, Bytes(10, 1));
+  f.net.send(2, 1, Bytes(10, 1));  // reverse direction: unaffected
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 2u);
+  EXPECT_EQ(f.events[0].dst, 1u);  // the undelayed reverse arrives first
+  EXPECT_EQ(f.events[0].at, microseconds(10 + 10 + 100 + 20));
+  EXPECT_EQ(f.events[1].dst, 2u);
+  EXPECT_EQ(f.events[1].at,
+            milliseconds(5) + microseconds(10 + 10 + 100 + 20));
+  EXPECT_EQ(f.net.counters().delayed_fault, 1u);
+}
+
+TEST(SimNetworkFaults, ProbabilisticDropAtCertainty) {
+  Fixture f(simple_model());
+  FaultEvent drop = make_fault(FaultKind::kDrop, 0, seconds(10));
+  drop.prob = 1.0;
+  f.net.set_fault_plan(FaultPlan{{drop}});
+  for (int i = 0; i < 5; ++i) f.net.send(1, 2, Bytes(10, 1));
+  f.sched.run_all();
+  EXPECT_TRUE(f.events.empty());
+  EXPECT_EQ(f.net.counters().dropped_fault, 5u);
+}
+
+TEST(SimNetworkFaults, DuplicateDeliversTwice) {
+  Fixture f(simple_model());
+  FaultEvent dup = make_fault(FaultKind::kDuplicate, 0, seconds(10));
+  dup.prob = 1.0;
+  f.net.set_fault_plan(FaultPlan{{dup}});
+  f.net.send(1, 2, Bytes(10, 1));
+  f.sched.run_all();
+  EXPECT_EQ(f.events.size(), 2u);
+  EXPECT_EQ(f.net.counters().duplicated_fault, 1u);
+  EXPECT_EQ(f.net.counters().messages_delivered, 2u);
+}
+
+TEST(SimNetworkFaults, FaultWindowIsHalfOpen) {
+  Fixture f(simple_model());
+  // Drop window ends exactly when the message leaves the NIC
+  // (10us CPU + 10us wire): at t == until the fault is inactive.
+  FaultEvent drop = make_fault(FaultKind::kDrop, 0, microseconds(20));
+  drop.prob = 1.0;
+  f.net.set_fault_plan(FaultPlan{{drop}});
+  f.net.send(1, 2, Bytes(10, 1));
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 1u);
+  EXPECT_EQ(f.net.counters().dropped_fault, 0u);
+}
+
+TEST(SimNetworkFaults, ReorderLetsLaterOvertakeEarlier) {
+  Fixture f(simple_model());
+  FaultEvent shuffle = make_fault(FaultKind::kReorder, 0, seconds(10));
+  shuffle.extra = milliseconds(50);  // >> the inter-send spacing
+  f.net.set_fault_plan(FaultPlan{{shuffle}});
+  // Distinct sizes identify the messages in the delivery log.
+  for (std::size_t i = 1; i <= 16; ++i) f.net.send(1, 2, Bytes(i, 1));
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 16u);
+  // With 50ms of random skew on microsecond spacing, FIFO delivery is
+  // statistically impossible for 16 messages under any healthy RNG.
+  bool reordered = false;
+  for (std::size_t i = 1; i < f.events.size(); ++i) {
+    if (f.events[i].size < f.events[i - 1].size) reordered = true;
+  }
+  EXPECT_EQ(f.net.counters().delayed_fault, 16u);
+  EXPECT_TRUE(reordered);
+}
+
+TEST(SimNetworkFaults, LoopbackNeverFaulted) {
+  Fixture f(simple_model());
+  FaultEvent drop = make_fault(FaultKind::kDrop, 0, seconds(10));
+  drop.prob = 1.0;
+  f.net.set_fault_plan(FaultPlan{{drop}});
+  f.net.send(2, 2, Bytes(10, 1));
+  f.sched.run_all();
+  ASSERT_EQ(f.events.size(), 1u);
+  EXPECT_EQ(f.net.counters().dropped_fault, 0u);
+}
+
+TEST(SimNetworkFaults, EmptyPlanIsBitIdenticalToNoPlan) {
+  NetModel m = simple_model();
+  m.jitter = microseconds(50);
+  auto run = [&](bool install_empty_plan) {
+    Fixture f(m, 3, 42);
+    if (install_empty_plan) f.net.set_fault_plan(FaultPlan{});
+    for (int i = 0; i < 20; ++i) f.net.send(1, 2, Bytes(10, 1));
+    f.sched.run_all();
+    std::vector<TimePoint> times;
+    for (const Event& e : f.events) times.push_back(e.at);
+    return times;
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(SimNetworkFaults, FaultScheduleIsDeterministicPerSeed) {
+  auto run = [&](std::uint64_t seed) {
+    Fixture f(simple_model(), 3, seed);
+    FaultEvent drop = make_fault(FaultKind::kDrop, 0, seconds(10));
+    drop.prob = 0.5;
+    FaultEvent shuffle = make_fault(FaultKind::kReorder, 0, seconds(10));
+    shuffle.extra = milliseconds(10);
+    f.net.set_fault_plan(FaultPlan{{drop, shuffle}});
+    for (int i = 0; i < 50; ++i) f.net.send(1, 2, Bytes(10, 1));
+    f.sched.run_all();
+    std::vector<TimePoint> times;
+    for (const Event& e : f.events) times.push_back(e.at);
+    return times;
+  };
+  EXPECT_EQ(run(9), run(9));
+  EXPECT_NE(run(9), run(10));
+}
+
+TEST(FaultPlan, TextRoundTrip) {
+  FaultEvent cut = make_fault(FaultKind::kPartition, milliseconds(1),
+                              milliseconds(7));
+  cut.group = 0b101;
+  FaultEvent drop = make_fault(FaultKind::kDrop, 0, seconds(1));
+  drop.src = 2;
+  drop.dst = 3;
+  drop.prob = 0.123456789;
+  FaultEvent slow = make_fault(FaultKind::kDelay, 5, 17);
+  slow.extra = microseconds(250);
+  for (const FaultEvent& e : {cut, drop, slow}) {
+    const std::optional<FaultEvent> back = parse_fault_event(to_text(e));
+    ASSERT_TRUE(back.has_value()) << to_text(e);
+    EXPECT_EQ(back->kind, e.kind);
+    EXPECT_EQ(back->from, e.from);
+    EXPECT_EQ(back->until, e.until);
+    EXPECT_EQ(back->src, e.src);
+    EXPECT_EQ(back->dst, e.dst);
+    EXPECT_EQ(back->group, e.group);
+    EXPECT_EQ(back->extra, e.extra);
+    EXPECT_DOUBLE_EQ(back->prob, e.prob);
+  }
+  EXPECT_FALSE(parse_fault_event("bogus 0 1 0 0 0 0 1").has_value());
+  EXPECT_FALSE(parse_fault_event("drop 5 1 0 0 0 0 1").has_value());
+  EXPECT_FALSE(parse_fault_event("").has_value());
+}
+
+TEST(FaultPlan, LosslessAndQuietAfter) {
+  FaultPlan plan;
+  EXPECT_TRUE(plan.lossless());
+  EXPECT_EQ(plan.quiet_after(), 0);
+  plan.events.push_back(make_fault(FaultKind::kPartition, 0, 100));
+  plan.events.push_back(make_fault(FaultKind::kDelay, 50, 400));
+  EXPECT_TRUE(plan.lossless());
+  EXPECT_EQ(plan.quiet_after(), 400);
+  plan.events.push_back(make_fault(FaultKind::kDrop, 10, 20));
+  EXPECT_FALSE(plan.lossless());
 }
 
 TEST(SimNetwork, DeliveredHookCanCrashDestination) {

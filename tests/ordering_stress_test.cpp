@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/ordering.hpp"
+#include "harness.hpp"
 #include "util/rng.hpp"
 
 namespace ibc::core {
@@ -58,6 +59,7 @@ std::vector<MessageId> expected_order(const Script& s) {
 class OrderingStress : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(OrderingStress, RandomInterleavingsDeliverSpecOrder) {
+  SCOPED_TRACE(test::repro_hint(GetParam()));
   Rng rng(GetParam());
   const Script script = make_script(rng, 12, 4);
 
@@ -259,6 +261,7 @@ class PipelinedStress
     : public ::testing::TestWithParam<std::tuple<std::uint64_t, int>> {};
 
 TEST_P(PipelinedStress, OverlappingDecisionsAnyWindowDeliverSpecOrder) {
+  SCOPED_TRACE(test::repro_hint(std::get<0>(GetParam())));
   Rng rng(std::get<0>(GetParam()));
   const auto window = static_cast<std::uint32_t>(std::get<1>(GetParam()));
   Script script = make_script(rng, 12, 4);

@@ -11,7 +11,11 @@
 #include <utility>
 #include <vector>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include "net/tcp/framing.hpp"
+#include "net/tcp/socket.hpp"
 #include "net/tcp/tcp_transport.hpp"
 #include "runtime/cluster.hpp"
 
@@ -333,6 +337,139 @@ TEST(TcpCluster, CrossThreadSendTakesTheWakePath) {
   wait_for([&] { return got.load() >= 1; });
   EXPECT_EQ(got.load(), 1);
   EXPECT_GT(cluster.counters().wakeups, wakeups_before);
+}
+
+// ------------------------------------- hostile-wire hardening cases
+
+TEST(TcpCluster, ByteAtATimePartialFrameDeliveryOnTheWire) {
+  // Dribbles two encoded frames onto the real mesh socket one byte per
+  // segment (TCP_NODELAY, paced writes): the receiver's read loop sees
+  // partial frames — the 4-byte length header itself split across
+  // reads — and must reassemble both messages exactly once, intact.
+  TcpCluster cluster(2);
+  std::mutex mu;
+  std::vector<std::pair<ProcessId, Bytes>> received;  // at p2
+  cluster.env(1).set_receive([](ProcessId, BytesView) {});
+  cluster.env(2).set_receive([&](ProcessId from, BytesView msg) {
+    const std::scoped_lock lock(mu);
+    received.emplace_back(from, to_bytes(msg));
+  });
+  cluster.start();
+
+  Bytes wire;
+  encode_frame(bytes_of("split header"), wire);
+  encode_frame(bytes_of("and split payload"), wire);
+  for (const std::uint8_t b : wire) {
+    cluster.write_raw_for_test(1, 2, Bytes{b});
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  wait_for([&] {
+    const std::scoped_lock lock(mu);
+    return received.size() >= 2;
+  });
+  {
+    const std::scoped_lock lock(mu);
+    ASSERT_EQ(received.size(), 2u);
+    EXPECT_EQ(received[0].first, 1u);
+    EXPECT_TRUE(bytes_equal(received[0].second, bytes_of("split header")));
+    EXPECT_EQ(received[1].first, 1u);
+    EXPECT_TRUE(
+        bytes_equal(received[1].second, bytes_of("and split payload")));
+  }
+
+  // The ordinary framed send path still works on the same connection:
+  // the decoder is back at a frame boundary.
+  cluster.run_on(1, [&] { cluster.env(1).send(2, bytes_of("framed")); });
+  wait_for([&] {
+    const std::scoped_lock lock(mu);
+    return received.size() >= 3;
+  });
+  const std::scoped_lock lock(mu);
+  ASSERT_EQ(received.size(), 3u);
+  EXPECT_TRUE(bytes_equal(received[2].second, bytes_of("framed")));
+}
+
+TEST(TcpSocket, DuplicateConnectTearsDownCleanly) {
+  // A dialer that retries produces a second connection to the same
+  // listener. The accept side keeps the first and drops the duplicate:
+  // the duplicate's dialer must observe a clean EOF while the kept
+  // connection keeps carrying frames, and a double close of the
+  // duplicate is a no-op.
+  auto [listener, port] = listen_loopback();
+  Fd first = connect_loopback(port);
+  Fd first_accepted = accept_one(listener);
+  Fd dup = connect_loopback(port);  // the duplicate connect
+  Fd dup_accepted = accept_one(listener);
+  make_nonblocking_nodelay(first);
+  make_nonblocking_nodelay(first_accepted);
+
+  dup_accepted.reset();  // server policy: tear down the duplicate
+
+  // The duplicate's dialer sees EOF (blocking read returns 0 once the
+  // FIN arrives), not an error, and double-reset is harmless.
+  std::uint8_t buf[4096];
+  EXPECT_EQ(::read(dup.get(), buf, sizeof buf), 0);
+  dup.reset();
+  EXPECT_FALSE(dup.valid());
+  dup.reset();  // duplicate teardown: idempotent
+
+  // The kept connection still passes framed traffic.
+  Bytes wire;
+  encode_frame(bytes_of("still alive"), wire);
+  ASSERT_EQ(::send(first.get(), wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+  FrameDecoder dec;
+  std::vector<Bytes> frames;
+  for (int i = 0; i < 1000 && frames.empty(); ++i) {
+    const ssize_t got = ::read(first_accepted.get(), buf, sizeof buf);
+    if (got > 0) {
+      ASSERT_TRUE(dec.feed(BytesView(buf, static_cast<std::size_t>(got)),
+                           [&](BytesView f) {
+                             frames.push_back(to_bytes(f));
+                           }));
+    } else {
+      ASSERT_TRUE(got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK));
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(bytes_equal(frames[0], bytes_of("still alive")));
+}
+
+TEST(TcpCluster, LinkTeardownIsIdempotentAndIsolated) {
+  // Resetting one mesh link (twice — duplicate teardown) must look like
+  // a crash on that link only: sends across it drop silently, every
+  // other link keeps delivering, and shutdown stays clean.
+  TcpCluster cluster(3);
+  std::mutex mu;
+  std::vector<std::pair<ProcessId, Bytes>> at2;
+  cluster.env(1).set_receive([](ProcessId, BytesView) {});
+  cluster.env(2).set_receive([&](ProcessId from, BytesView msg) {
+    const std::scoped_lock lock(mu);
+    at2.emplace_back(from, to_bytes(msg));
+  });
+  cluster.env(3).set_receive([](ProcessId, BytesView) {});
+  cluster.start();
+
+  cluster.close_link_for_test(1, 2);
+  cluster.close_link_for_test(1, 2);  // duplicate teardown: no-op
+
+  cluster.run_on(1, [&] {
+    cluster.env(1).send(2, bytes_of("into the void"));  // dropped
+    cluster.env(1).send(3, bytes_of("via live link"));
+  });
+  cluster.run_on(3, [&] { cluster.env(3).send(2, bytes_of("unaffected")); });
+  wait_for([&] {
+    const std::scoped_lock lock(mu);
+    return !at2.empty();
+  });
+  // Give the dropped frame a moment to (not) arrive as well.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  const std::scoped_lock lock(mu);
+  ASSERT_EQ(at2.size(), 1u);
+  EXPECT_EQ(at2[0].first, 3u);
+  EXPECT_TRUE(bytes_equal(at2[0].second, bytes_of("unaffected")));
 }
 
 // ------------------------------------------- full stack over real TCP

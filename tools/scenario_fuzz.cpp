@@ -1,0 +1,138 @@
+// Standalone scenario-fuzzer driver (see docs/TESTING.md).
+//
+//   scenario_fuzz [--seeds N] [--start S] [--out DIR]
+//       Run N randomly generated hostile scenarios (seeds S..S+N-1).
+//       Every failure is greedily shrunk and written to DIR as a
+//       replayable repro file; exit status 1 if anything failed.
+//
+//   scenario_fuzz --replay FILE
+//       Re-run one repro file and print the oracle's verdict.
+//
+// The ctest smoke (tests/fuzz_scenario_test.cpp) covers the first 200
+// seeds on every push; CI's scheduled job points this driver at a much
+// larger seed range and uploads DIR as an artifact when it finds
+// something.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fuzz/scenario.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--seeds N] [--start S] [--out DIR]\n"
+               "       %s --replay FILE\n",
+               argv0, argv0);
+  return 2;
+}
+
+void print_violations(const ibc::fuzz::RunResult& result) {
+  for (const ibc::fuzz::Violation& violation : result.violations) {
+    std::printf("  VIOLATION [%s] %s\n", violation.property.c_str(),
+                violation.detail.c_str());
+  }
+}
+
+int replay(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "scenario_fuzz: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::optional<ibc::fuzz::Scenario> scenario =
+      ibc::fuzz::parse_scenario(text.str());
+  if (!scenario) {
+    std::fprintf(stderr, "scenario_fuzz: %s is not a valid scenario file\n",
+                 path.c_str());
+    return 2;
+  }
+  std::printf("replaying %s (seed %llu, stack %s)\n", path.c_str(),
+              static_cast<unsigned long long>(scenario->seed),
+              ibc::fuzz::fuzz_stacks().at(scenario->stack).name);
+  const ibc::fuzz::RunResult result = ibc::fuzz::run_scenario(*scenario);
+  if (result.ok()) {
+    std::printf("PASS: all invariants held\n");
+    return 0;
+  }
+  print_violations(result);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seeds = 200;
+  std::uint64_t start = 1;
+  std::string out_dir = "fuzz-repros";
+  std::string replay_file;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--seeds") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      seeds = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--start") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      start = std::strtoull(value, nullptr, 10);
+    } else if (arg == "--out") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      out_dir = value;
+    } else if (arg == "--replay") {
+      const char* value = next();
+      if (value == nullptr) return usage(argv[0]);
+      replay_file = value;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (!replay_file.empty()) return replay(replay_file);
+
+  std::uint64_t failures = 0;
+  for (std::uint64_t seed = start; seed < start + seeds; ++seed) {
+    const ibc::fuzz::Scenario scenario = ibc::fuzz::generate_scenario(seed);
+    const ibc::fuzz::RunResult result = ibc::fuzz::run_scenario(scenario);
+    if (result.ok()) continue;
+
+    ++failures;
+    std::printf("seed %llu FAILED (%zu schedule events):\n",
+                static_cast<unsigned long long>(seed),
+                scenario.schedule_events());
+    print_violations(result);
+
+    std::size_t shrink_runs = 0;
+    const ibc::fuzz::Scenario minimal =
+        ibc::fuzz::shrink_scenario(scenario, &shrink_runs);
+    std::printf("  shrunk to %zu schedule events in %zu re-runs\n",
+                minimal.schedule_events(), shrink_runs);
+
+    std::error_code ec;
+    std::filesystem::create_directories(out_dir, ec);
+    const std::string path =
+        out_dir + "/repro-seed" + std::to_string(seed) + ".txt";
+    std::ofstream out(path);
+    out << ibc::fuzz::to_text(minimal);
+    out.close();
+    std::printf("  repro written: %s\n  replay: %s --replay %s\n",
+                path.c_str(), argv[0], path.c_str());
+  }
+
+  std::printf("scenario_fuzz: %llu/%llu seeds failed\n",
+              static_cast<unsigned long long>(failures),
+              static_cast<unsigned long long>(seeds));
+  return failures == 0 ? 0 : 1;
+}
