@@ -155,6 +155,65 @@ void BM_FrameCodecRoundtrip(benchmark::State& state) {
 }
 BENCHMARK(BM_FrameCodecRoundtrip)->Arg(16)->Arg(256)->Arg(4096);
 
+// Decode in isolation: a read() typically hands the decoder a chunk
+// holding many frames, so the receive-side cost per frame is boundary
+// scanning + one callback, amortized over the chunk. Encoding happens
+// once outside the loop; the iteration replays the same wire chunk, the
+// shape reactor_loop sees on a busy connection.
+constexpr std::size_t kDecodeFramesPerChunk = 32;
+
+void BM_FrameCodecDecode(benchmark::State& state) {
+  const auto payload_size = static_cast<std::size_t>(state.range(0));
+  const Bytes payload(payload_size, 0x5A);
+  Bytes wire;
+  for (std::size_t i = 0; i < kDecodeFramesPerChunk; ++i)
+    net::tcp::encode_frame(payload, wire);
+  net::tcp::FrameDecoder dec;
+  for (auto _ : state) {
+    std::size_t frames = 0;
+    dec.feed(wire, [&frames](BytesView) { ++frames; });
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(payload_size * kDecodeFramesPerChunk));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(kDecodeFramesPerChunk));
+}
+BENCHMARK(BM_FrameCodecDecode)->Arg(16)->Arg(256)->Arg(4096);
+
+// Same decode work arriving fragmented: the chunk is fed in fixed-size
+// slices that straddle frame boundaries, forcing the decoder's partial-
+// frame reassembly path. The delta vs BM_FrameCodecDecode is the price
+// of short reads (small payloads under load rarely hit this; large
+// frames always do).
+void BM_FrameCodecDecodeFragmented(benchmark::State& state) {
+  const auto payload_size = static_cast<std::size_t>(state.range(0));
+  const Bytes payload(payload_size, 0x5A);
+  Bytes wire;
+  for (std::size_t i = 0; i < kDecodeFramesPerChunk; ++i)
+    net::tcp::encode_frame(payload, wire);
+  const std::size_t slice = payload_size / 2 + 3;  // straddles boundaries
+  net::tcp::FrameDecoder dec;
+  for (auto _ : state) {
+    std::size_t frames = 0;
+    for (std::size_t off = 0; off < wire.size(); off += slice) {
+      const std::size_t len = std::min(slice, wire.size() - off);
+      dec.feed(BytesView(wire.data() + off, len),
+               [&frames](BytesView) { ++frames; });
+    }
+    benchmark::DoNotOptimize(frames);
+  }
+  state.SetBytesProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(payload_size * kDecodeFramesPerChunk));
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations()) *
+      static_cast<std::int64_t>(kDecodeFramesPerChunk));
+}
+BENCHMARK(BM_FrameCodecDecodeFragmented)->Arg(16)->Arg(256)->Arg(4096);
+
 // Multicast fan-out: the sender-side cost of disseminating one frame to
 // n-1 peers. CopyPerPeer is the old send path — re-encode the layer
 // envelope per destination and memcpy the framed bytes into that peer's

@@ -37,6 +37,7 @@ void Batcher::add(const MessageId& id, Bytes payload) {
   if (pending_.empty()) {
     first_ = id;
     arm_timer();
+    arm_idle_flush();
   } else {
     IBC_ASSERT_MSG(
         id.origin == first_.origin && id.seq == first_.seq + pending_.size(),
@@ -72,6 +73,19 @@ void Batcher::arm_timer() {
   if (config_.max_msgs <= 1 || config_.max_delay <= 0) return;
   timer_ = env_.set_timer(config_.max_delay, [this] {
     timer_ = 0;
+    flush();
+  });
+}
+
+void Batcher::arm_idle_flush() {
+  // max_delay is a *ceiling*, not a wait: on hosts with an idleness
+  // notion (the TCP reactor) an underfull batch leaves as soon as no
+  // more adds are ready to join it, so batching never costs latency the
+  // traffic didn't already have. One queued flush at a time — a stale
+  // one (batch already flushed by size or timer) degrades to a no-op.
+  if (config_.max_msgs <= 1 || idle_flush_armed_) return;
+  idle_flush_armed_ = env_.run_at_idle([this] {
+    idle_flush_armed_ = false;
     flush();
   });
 }

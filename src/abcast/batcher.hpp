@@ -21,10 +21,14 @@
 // the frame without copying.
 //
 // Flush policy: a batch is sent when it holds `max_msgs` messages, when
-// its serialized size reaches `max_bytes`, or when `max_delay` elapses
-// after the first message entered it. `max_msgs = 1` (the default)
-// flushes inside every add — bit-for-bit the unbatched Algorithm 1
-// behavior, with no timer ever armed.
+// its serialized size reaches `max_bytes`, when the host reports the
+// execution context idle (`Env::run_at_idle` — nothing else is ready,
+// so nothing further can join the batch), or at the latest when
+// `max_delay` elapses after the first message entered it. The delay is
+// a ceiling for hosts without an idleness notion (the simulator), not a
+// wait: on the TCP reactor an underfull batch never holds traffic back.
+// `max_msgs = 1` (the default) flushes inside every add — bit-for-bit
+// the unbatched Algorithm 1 behavior, with no timer ever armed.
 #pragma once
 
 #include <cstddef>
@@ -85,6 +89,7 @@ class Batcher {
 
  private:
   void arm_timer();
+  void arm_idle_flush();
 
   runtime::Env& env_;
   bcast::BroadcastService& rb_;
@@ -94,6 +99,7 @@ class Batcher {
   std::vector<Bytes> pending_;  // payloads of the open batch, in order
   std::size_t pending_bytes_ = 0;  // payload bytes in the open batch
   runtime::TimerId timer_ = 0;     // 0 = not armed
+  bool idle_flush_armed_ = false;  // one queued idle flush at a time
 
   std::uint64_t batches_sent_ = 0;
   std::uint64_t msgs_sent_ = 0;

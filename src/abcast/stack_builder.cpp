@@ -44,8 +44,11 @@ void apply_injected_bugs(const StackConfig& config,
 }  // namespace
 
 ProcessStack::ProcessStack(runtime::Host& host, ProcessId p,
-                           const StackConfig& config)
+                           const StackConfig& config, store::Dir* durable,
+                           const recovery::Config& recovery_config)
     : stack_(host.env(p)) {
+  IBC_REQUIRE_MSG(durable == nullptr || config.variant == Variant::kIndirect,
+                  "crash recovery is implemented for the indirect stack");
   runtime::Env& env = stack_.env();
   net::SimNetwork* sim = host.sim_network();
   // Failure detector.
@@ -94,6 +97,24 @@ ProcessStack::ProcessStack(runtime::Host& host, ProcessId p,
         env, *bcast_, *indirect_consensus_, config.pipeline_depth,
         config.batch);
     apply_injected_bugs(config, mutable_ordering());
+    if (durable != nullptr) {
+      // Recover whatever the store holds (empty on first boot), load it
+      // into the fresh core, then install the journal so every
+      // subsequent event is logged.
+      recovery_ = std::make_unique<recovery::RecoveryManager>(
+          *durable, recovery_config);
+      auto* ind = static_cast<core::AbcastIndirect*>(abcast_.get());
+      const recovery::RecoveryManager::Recovered& rec =
+          recovery_->recovered();
+      ind->mutable_ordering().restore(rec.core);
+      ind->restore_seq(rec.reserved_seq);
+      ind->set_journal(recovery_.get());
+      recovery_->attach(&ind->ordering());
+      catchup_ =
+          std::make_unique<recovery::CatchupLayer>(*recovery_, *ind);
+      catchup_->bind(stack_.register_layer(recovery::kLayerCatchup,
+                                           *catchup_, "catchup"));
+    }
     return;
   }
 
@@ -134,6 +155,12 @@ core::OrderingCore* ProcessStack::mutable_ordering() {
     return &ids->mutable_ordering();
   }
   return nullptr;
+}
+
+void ProcessStack::begin_catchup() {
+  IBC_REQUIRE_MSG(catchup_ != nullptr,
+                  "begin_catchup needs a recovery-enabled stack");
+  catchup_->begin();
 }
 
 const consensus::Consensus::Stats& ProcessStack::consensus_stats() const {

@@ -32,8 +32,11 @@
 #include "fd/heartbeat_fd.hpp"
 #include "fd/perfect_fd.hpp"
 #include "net/simnet.hpp"
+#include "recovery/catchup.hpp"
+#include "recovery/recovery.hpp"
 #include "runtime/host.hpp"
 #include "runtime/stack.hpp"
+#include "store/storage.hpp"
 
 namespace ibc::abcast {
 
@@ -91,7 +94,16 @@ class ProcessStack {
   /// Construction sites live in `src/runtime/` (the `ibc::Cluster`
   /// facade) — scenario code should wire clusters through `ibc::Cluster`
   /// rather than building stacks by hand.
-  ProcessStack(runtime::Host& host, ProcessId p, const StackConfig& config);
+  ///
+  /// `durable`, if non-null, enables the crash-recovery subsystem
+  /// (kIndirect only): the ordering core journals through a
+  /// `RecoveryManager` bound to that store, state found in the store is
+  /// restored before the stack goes live, and a catch-up layer
+  /// (recovery/catchup.hpp) is registered. The store must outlive the
+  /// stack — it is the part of the process that survives a crash.
+  ProcessStack(runtime::Host& host, ProcessId p, const StackConfig& config,
+               store::Dir* durable = nullptr,
+               const recovery::Config& recovery_config = {});
 
   /// Starts all layers (heartbeats, etc.). Call once, after every
   /// process's stack is constructed.
@@ -112,6 +124,17 @@ class ProcessStack {
   /// Engine counters regardless of variant.
   const consensus::Consensus::Stats& consensus_stats() const;
 
+  /// Recovery wiring (null unless built with a durable store).
+  recovery::RecoveryManager* recovery_manager() { return recovery_.get(); }
+  const recovery::RecoveryManager* recovery_manager() const {
+    return recovery_.get();
+  }
+  recovery::CatchupLayer* catchup() { return catchup_.get(); }
+
+  /// Kicks off the peer catch-up poll after a restart. Requires a
+  /// durable store; call after start().
+  void begin_catchup();
+
  private:
   runtime::Stack stack_;
   std::unique_ptr<fd::HeartbeatFd> heartbeat_fd_;
@@ -125,6 +148,9 @@ class ProcessStack {
   std::unique_ptr<core::IndirectConsensus> indirect_consensus_;
 
   std::unique_ptr<core::AbcastService> abcast_;
+
+  std::unique_ptr<recovery::RecoveryManager> recovery_;
+  std::unique_ptr<recovery::CatchupLayer> catchup_;
 };
 
 }  // namespace ibc::abcast

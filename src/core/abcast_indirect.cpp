@@ -34,11 +34,30 @@ AbcastIndirect::AbcastIndirect(runtime::Env& env,
     core_.on_rdeliver(batch_view.first, std::move(batch_view.payloads));
   });
   ic_.subscribe_decide([this](consensus::InstanceId k, const IdSet& ids) {
+    // After a crash-recovery the core may already hold this instance
+    // from log replay or catch-up while peers (or pre-crash messages
+    // still in flight) finish deciding it live. Agreement makes the
+    // decided value unique per instance, so the late copy adds nothing.
+    if (k <= core_.instances_completed()) return;
     core_.on_decision(k, ids);
   });
 }
 
+void AbcastIndirect::set_journal(OrderingJournal* journal) {
+  journal_ = journal;
+  core_.set_journal(journal);
+}
+
+void AbcastIndirect::restore_seq(std::uint64_t reserved) {
+  next_seq_ = reserved;
+  reserved_seq_ = reserved;
+}
+
 MessageId AbcastIndirect::abroadcast(Bytes payload) {
+  if (journal_ != nullptr && next_seq_ >= reserved_seq_) {
+    reserved_seq_ = next_seq_ + kSeqReserveChunk;
+    journal_->on_reserve_seqs(reserved_seq_);
+  }
   const MessageId id{env_.self(), ++next_seq_};
   batcher_.add(id, std::move(payload));  // line 8: R-broadcast(m) to all
   return id;

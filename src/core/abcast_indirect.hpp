@@ -50,11 +50,27 @@ class AbcastIndirect final : public AbcastService {
   const OrderingCore& ordering() const { return core_; }
   OrderingCore& mutable_ordering() { return core_; }
 
+  /// Installs the durability hooks (core journal + sequence-number
+  /// reservations). Must precede any traffic; null (default) is the
+  /// memory-only protocol.
+  void set_journal(OrderingJournal* journal);
+
+  /// Restores the sequence namespace after a restart: the next
+  /// abroadcast uses seq `reserved + 1` (the unused tail of the old
+  /// reservation stays a gap, never a reuse).
+  void restore_seq(std::uint64_t reserved);
+
+  /// Seqs handed out per durable reservation record. Chunking amortizes
+  /// the reservation sync to one per 1024 broadcasts.
+  static constexpr std::uint64_t kSeqReserveChunk = 1024;
+
  private:
   runtime::Env& env_;
   bcast::BroadcastService& rb_;
   IndirectConsensus& ic_;
+  OrderingJournal* journal_ = nullptr;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t reserved_seq_ = 0;
   OrderingCore core_;
   abcast::Batcher batcher_;
 };

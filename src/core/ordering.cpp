@@ -14,6 +14,21 @@ OrderingCore::OrderingCore(Callbacks callbacks, std::uint32_t window)
   IBC_REQUIRE_MSG(window_ >= 1, "pipeline window must be at least 1");
 }
 
+void OrderingCore::restore(Restored state) {
+  IBC_REQUIRE_MSG(delivered_.empty() && ordered_.empty() &&
+                      received_.empty() && applied_k_ == 0 &&
+                      opened_k_ == 0,
+                  "restore requires a freshly constructed core");
+  for (const MessageId& id : state.delivered) delivered_.insert(id);
+  msgs_delivered_ = state.msgs_delivered;
+  for (const MessageId& id : state.ordered) {
+    ordered_.push_back(id);
+    ordered_set_.insert(id);
+  }
+  applied_k_ = state.applied_k;
+  opened_k_ = state.opened_k;
+}
+
 void OrderingCore::on_rdeliver(const MessageId& id,
                                std::vector<Payload> payloads) {
   IBC_ASSERT_MSG(!payloads.empty(), "a batch carries at least one message");
@@ -67,6 +82,7 @@ void OrderingCore::apply_decision(consensus::InstanceId k,
   // such ids were already ordered (or delivered) and are skipped —
   // exactly-once A-delivery. Every process applies the same decisions in
   // the same order, so every process skips the same ids.
+  std::vector<MessageId> appended;
   for (const MessageId& id : ids) {
     if (!skip_dedup_for_test_ &&
         (delivered_.contains(id) || ordered_set_.contains(id))) {
@@ -75,7 +91,11 @@ void OrderingCore::apply_decision(consensus::InstanceId k,
     }
     ordered_.push_back(id);
     ordered_set_.insert(id);
+    appended.push_back(id);
   }
+  // Journaled even when nothing was appended: replay must advance past
+  // k. Logged before the deliveries it unblocks (write-ahead order).
+  if (journal_ != nullptr) journal_->on_decision_applied(k, appended);
   try_deliver();
 }
 
@@ -95,6 +115,9 @@ void OrderingCore::maybe_start_instances() {
     inflight_.emplace(k, proposal);
     inflight_high_water_ =
         std::max(inflight_high_water_, inflight_.size());
+    // The participation floor must be durable before the propose leaves
+    // the process (restart-amnesia safety, PROTOCOL.md D6).
+    if (journal_ != nullptr) journal_->on_open_instance(k);
     callbacks_.start_instance(k, proposal);
   }
 }
@@ -104,21 +127,48 @@ void OrderingCore::try_deliver() {
   // that is a batch id expands in place: its constituents — consecutive
   // ids from the head's origin — are A-delivered back-to-back, so the
   // client-message order is the same at every process (D5).
-  while (!ordered_.empty()) {
-    const MessageId head = ordered_.front();
-    const auto it = received_.find(head);
-    if (it == received_.end()) return;  // blocked: payload not yet here
-    ordered_.pop_front();
-    ordered_set_.erase(head);
-    delivered_.insert(head);
-    const std::vector<Payload> payloads = std::move(it->second);
-    received_.erase(it);
-    msgs_delivered_ += payloads.size();
-    for (std::size_t i = 0; i < payloads.size(); ++i) {
-      callbacks_.adeliver(MessageId{head.origin, head.seq + i},
-                          payloads[i]);
+  //
+  // The deliverable run is popped off the state *before* any callback
+  // fires: the journal records the run and syncs once (write-ahead
+  // group commit — a crash after the sync but before the callbacks is
+  // indistinguishable from one just after them), and a callback that
+  // feeds events back into the core sees consistent state. The latch
+  // makes such re-entrant calls queue behind this invocation's loop
+  // instead of interleaving deliveries out of order.
+  if (delivering_) return;
+  delivering_ = true;
+  while (true) {
+    struct Deliverable {
+      MessageId head;
+      std::vector<Payload> payloads;
+    };
+    std::vector<Deliverable> run;
+    while (!ordered_.empty()) {
+      const MessageId head = ordered_.front();
+      const auto it = received_.find(head);
+      if (it == received_.end()) break;  // blocked: payload not yet here
+      ordered_.pop_front();
+      ordered_set_.erase(head);
+      delivered_.insert(head);
+      run.push_back(Deliverable{head, std::move(it->second)});
+      received_.erase(it);
+    }
+    if (run.empty()) break;
+    if (journal_ != nullptr) {
+      for (const Deliverable& d : run) {
+        journal_->on_deliver_batch(d.head, d.payloads);
+      }
+      journal_->commit_deliveries();
+    }
+    for (const Deliverable& d : run) {
+      msgs_delivered_ += d.payloads.size();
+      for (std::size_t i = 0; i < d.payloads.size(); ++i) {
+        callbacks_.adeliver(MessageId{d.head.origin, d.head.seq + i},
+                            d.payloads[i]);
+      }
     }
   }
+  delivering_ = false;
 }
 
 bool OrderingCore::rcv(const IdSet& ids) const {
@@ -131,6 +181,16 @@ bool OrderingCore::rcv(const IdSet& ids) const {
 std::optional<MessageId> OrderingCore::blocked_head() const {
   if (ordered_.empty()) return std::nullopt;
   return ordered_.front();
+}
+
+std::vector<MessageId> OrderingCore::missing_payload_ids(
+    std::size_t limit) const {
+  std::vector<MessageId> missing;
+  for (const MessageId& id : ordered_) {
+    if (missing.size() >= limit) break;
+    if (!received_.contains(id)) missing.push_back(id);
+  }
+  return missing;
 }
 
 }  // namespace ibc::core

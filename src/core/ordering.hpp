@@ -59,6 +59,7 @@
 
 #include "consensus/consensus.hpp"
 #include "core/id_set.hpp"
+#include "core/journal.hpp"
 #include "util/bytes.hpp"
 #include "util/payload.hpp"
 
@@ -78,6 +79,24 @@ class OrderingCore {
   /// `window` = maximum number of concurrent consensus instances this
   /// process proposes in (W); 1 = the paper's sequential Algorithm 1.
   explicit OrderingCore(Callbacks callbacks, std::uint32_t window = 1);
+
+  /// State rebuilt from snapshot + log replay (src/recovery/).
+  struct Restored {
+    std::vector<MessageId> delivered;  // batch ids A-delivered pre-crash
+    std::uint64_t msgs_delivered = 0;
+    std::vector<MessageId> ordered;  // undelivered backlog, in order
+    consensus::InstanceId applied_k = 0;
+    consensus::InstanceId opened_k = 0;
+  };
+
+  /// Installs the durability hooks. Must precede any event; may be null
+  /// (the default: the paper's memory-only protocol).
+  void set_journal(OrderingJournal* journal) { journal_ = journal; }
+
+  /// Loads recovered state into a freshly constructed core. Payloads of
+  /// the ordered backlog are *not* restored — they arrive via
+  /// on_rdeliver (peer catch-up) before the head unblocks.
+  void restore(Restored state);
 
   /// Feed of R-deliveries (Algorithm 1 lines 11-14): a batch of
   /// `payloads.size()` consecutive messages from one origin, identified
@@ -123,6 +142,30 @@ class OrderingCore {
   /// First ordered-but-undelivered id, if any (a permanently stuck head
   /// is how the §2.2 validity violation manifests).
   std::optional<MessageId> blocked_head() const;
+  /// Delivered batch-id set (snapshot capture).
+  const std::unordered_set<MessageId>& delivered_set() const {
+    return delivered_;
+  }
+  /// Ordered-but-undelivered backlog in delivery order (snapshot
+  /// capture).
+  const std::deque<MessageId>& ordered_entries() const { return ordered_; }
+  /// Highest instance this process proposed in (participation floor).
+  consensus::InstanceId opened_instance() const { return opened_k_; }
+  /// Up to `limit` ordered entries whose payload is still missing, front
+  /// first — what a recovering process asks peers for.
+  std::vector<MessageId> missing_payload_ids(std::size_t limit) const;
+  /// Payloads of an R-delivered-but-not-yet-A-delivered batch; null if
+  /// unknown (catch-up serving looks here before giving up).
+  const std::vector<Payload>* payloads_of(const MessageId& id) const {
+    const auto it = received_.find(id);
+    return it == received_.end() ? nullptr : &it->second;
+  }
+  /// True while decisions are buffered that cannot apply because an
+  /// earlier instance's decision is missing (the gap catch-up fills).
+  bool has_decision_gap() const {
+    return !pending_decisions_.empty() &&
+           pending_decisions_.begin()->first > applied_k_ + 1;
+  }
 
   /// Test-only fault injection: disables the apply-time dedup guard, so
   /// at window > 1 an id decided by two overlapping instances enters
@@ -138,7 +181,11 @@ class OrderingCore {
   void try_deliver();
 
   Callbacks callbacks_;
+  OrderingJournal* journal_ = nullptr;
   std::uint32_t window_ = 1;
+  /// Re-entrancy latch for try_deliver: an adeliver callback that feeds
+  /// new events back in must not interleave deliveries out of order.
+  bool delivering_ = false;
   /// Batch id -> constituent payloads (shared views of the R-delivered
   /// frame), pending A-delivery.
   std::unordered_map<MessageId, std::vector<Payload>> received_;

@@ -6,21 +6,40 @@ namespace ibc::fd {
 
 PerfectFd::PerfectFd(runtime::Env& env, net::SimNetwork& net,
                      Duration detection_delay)
-    : suspected_(net.n() + 1, false) {
+    : net_(net), suspected_(net.n() + 1, false) {
   IBC_REQUIRE(detection_delay >= 0);
-  // Lifetime: this object must outlive the network (both are owned by the
-  // same harness and torn down together).
-  net.subscribe_crash([this, &env, detection_delay](ProcessId p) {
+  // Restarted stacks are rebuilt against a network that already has
+  // crashed peers — pick up their state instead of starting blind.
+  for (ProcessId p = 1; p <= net.n(); ++p) {
+    if (net.crashed(p)) suspected_[p] = true;
+  }
+  crash_sub_ = net.subscribe_crash([this, &env, detection_delay](ProcessId p) {
     if (detection_delay == 0) {
       suspected_[p] = true;
       notify(p, true);
     } else {
       env.set_timer(detection_delay, [this, p] {
+        // A crash→restart inside the detection window must not leave the
+        // revived process falsely suspected forever (the oracle never
+        // makes mistakes).
+        if (!net_.crashed(p)) return;
         suspected_[p] = true;
         notify(p, true);
       });
     }
   });
+  restart_sub_ = net.subscribe_restart([this](ProcessId p) {
+    if (!suspected_[p]) return;
+    suspected_[p] = false;
+    notify(p, false);
+  });
+}
+
+PerfectFd::~PerfectFd() {
+  // A restart destroys the old incarnation's stack (and this detector
+  // with it) while the network lives on — the listeners must not dangle.
+  net_.unsubscribe(crash_sub_);
+  net_.unsubscribe(restart_sub_);
 }
 
 bool PerfectFd::is_suspected(ProcessId p) const {

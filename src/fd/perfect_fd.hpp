@@ -2,9 +2,11 @@
 //
 // Subscribes to the simulated network's crash notifications and suspects
 // exactly the crashed processes, with a configurable detection delay.
-// Never makes mistakes — handy for fast deterministic tests and for
-// benchmarking protocol cost without false-suspicion noise. Only exists in
-// the simulator (a real network has no crash oracle).
+// Restart notifications clear the suspicion again, so a recovered process
+// is trusted the instant it is back. Never makes mistakes — handy for
+// fast deterministic tests and for benchmarking protocol cost without
+// false-suspicion noise. Only exists in the simulator (a real network has
+// no crash oracle).
 #pragma once
 
 #include <vector>
@@ -21,11 +23,15 @@ class PerfectFd final : public FailureDetector {
   /// instantaneous). `env` must be the process's own environment.
   PerfectFd(runtime::Env& env, net::SimNetwork& net,
             Duration detection_delay = 0);
+  ~PerfectFd() override;
 
   bool is_suspected(ProcessId p) const override;
 
  private:
+  net::SimNetwork& net_;
   std::vector<bool> suspected_;  // [1..n]
+  net::SimNetwork::ListenerId crash_sub_ = 0;
+  net::SimNetwork::ListenerId restart_sub_ = 0;
 };
 
 }  // namespace ibc::fd

@@ -80,6 +80,20 @@ Scenario generate_scenario(std::uint64_t seed) {
     s.crashes.push_back(ClusterCrash{at, s.n - i});
   }
 
+  // Restart schedule: on indirect stacks (the only ones the recovery
+  // subsystem journals for), about half the crashed processes come back
+  // after a downtime gap and must rejoin via replay + catch-up. Drawn
+  // from a separate stream so restart generation does not perturb the
+  // crash/fault shape of pre-existing seeds.
+  if (fuzz_stacks()[s.stack].variant == abcast::Variant::kIndirect) {
+    Rng restart_rng = Rng(seed).fork("scenario-restarts");
+    for (const ClusterCrash& crash : s.crashes) {
+      if (!restart_rng.next_bool(0.5)) continue;
+      const TimePoint back = crash.at + milliseconds(restart_rng.next_in(30, 200));
+      s.restarts.push_back(ClusterRestart{back, crash.process});
+    }
+  }
+
   // Fault schedule: 0..5 events over the traffic window. Durations and
   // delays are capped well under the quiesce idle threshold so a
   // lossless plan can never be mistaken for a stalled run.
@@ -144,6 +158,15 @@ RunResult run_scenario(const Scenario& scenario) {
                                .with_stack(cfg)
                                .with_faults(scenario.faults);
   options.crashes = scenario.crashes;
+  // Restarts need the durable store, which only the indirect variant
+  // journals into; on other stacks a restart-bearing scenario (e.g. the
+  // determinism suite forcing every stack) degrades to crash-only.
+  const bool recovery_on = !scenario.restarts.empty() &&
+                           choice.variant == abcast::Variant::kIndirect;
+  if (recovery_on) {
+    options.with_recovery();
+    options.restarts = scenario.restarts;
+  }
   Cluster cluster(options);
 
   // Randomized traffic over the scenario's window, paced through each
@@ -185,8 +208,24 @@ RunResult run_scenario(const Scenario& scenario) {
     }
   }
 
+  // Two tiers of "faulty": `crashed` ever lost its volatile state
+  // (exempt as a *sender* — a broadcast can die with the pre-crash
+  // incarnation before reaching anyone); `down` never came back (exempt
+  // as a *receiver* too). A restarted process is crashed-but-not-down:
+  // after replay + catch-up it owes the full delivery sequence,
+  // exactly once, just like a process that never failed.
   std::set<ProcessId> crashed;
   for (const ClusterCrash& c : scenario.crashes) crashed.insert(c.process);
+  std::set<ProcessId> down = crashed;
+  if (recovery_on) {
+    for (const ClusterRestart& r : scenario.restarts) {
+      TimePoint last_crash = 0;
+      for (const ClusterCrash& c : scenario.crashes) {
+        if (c.process == r.process) last_crash = std::max(last_crash, c.at);
+      }
+      if (r.at > last_crash) down.erase(r.process);
+    }
+  }
   std::vector<Violation>& v = result.violations;
 
   // --- Safety: uniform total order (prefix consistency).
@@ -227,7 +266,7 @@ RunResult run_scenario(const Scenario& scenario) {
   }
   for (const MessageId& id : delivered_somewhere) {
     for (ProcessId p = 1; p <= scenario.n; ++p) {
-      if (crashed.contains(p)) continue;
+      if (down.contains(p)) continue;
       check(v, cluster.delivered(p, id), "agreement",
             "p" + std::to_string(p) + " missing " + to_string(id) +
                 " which another process delivered");
@@ -239,7 +278,7 @@ RunResult run_scenario(const Scenario& scenario) {
   for (const auto& [id, origin_payload] : sent) {
     if (crashed.contains(origin_payload.first)) continue;
     for (ProcessId p = 1; p <= scenario.n; ++p) {
-      if (crashed.contains(p)) continue;
+      if (down.contains(p)) continue;
       check(v, cluster.delivered(p, id), "validity",
             "p" + std::to_string(p) + " never delivered " + to_string(id) +
                 " from correct p" + std::to_string(origin_payload.first));
@@ -251,7 +290,7 @@ RunResult run_scenario(const Scenario& scenario) {
   // a protocol bug (this is how the injected dedup bug and the paper's
   // §2.2 violation manifest).
   for (ProcessId p = 1; p <= scenario.n; ++p) {
-    if (crashed.contains(p)) continue;
+    if (down.contains(p)) continue;
     if (const core::OrderingCore* ord = cluster.node(p).stack().ordering()) {
       const std::optional<MessageId> head = ord->blocked_head();
       check(v, !head.has_value(), "blocked-head",
@@ -277,6 +316,21 @@ Scenario shrink_scenario(const Scenario& scenario, std::size_t* runs) {
       Scenario candidate = best;
       candidate.faults.events.erase(
           candidate.faults.events.begin() + static_cast<std::ptrdiff_t>(i));
+      ++spent;
+      if (!run_scenario(candidate).ok()) {
+        best = std::move(candidate);
+        progress = true;
+        break;
+      }
+    }
+    if (progress) continue;
+    // Restarts before crashes: removing a crash while its restart stays
+    // is harmless (a restart of a live process is a no-op), but trying
+    // the restart first usually yields the smaller repro.
+    for (std::size_t i = 0; i < best.restarts.size(); ++i) {
+      Scenario candidate = best;
+      candidate.restarts.erase(candidate.restarts.begin() +
+                               static_cast<std::ptrdiff_t>(i));
       ++spent;
       if (!run_scenario(candidate).ok()) {
         best = std::move(candidate);
@@ -315,6 +369,9 @@ std::string to_text(const Scenario& scenario) {
   if (scenario.inject_skip_dedup) out << "bug skip_dedup\n";
   for (const ClusterCrash& c : scenario.crashes) {
     out << "crash " << c.at << " " << c.process << "\n";
+  }
+  for (const ClusterRestart& r : scenario.restarts) {
+    out << "restart " << r.at << " " << r.process << "\n";
   }
   for (const net::FaultEvent& e : scenario.faults.events) {
     out << "fault " << net::to_text(e) << "\n";
@@ -367,6 +424,13 @@ std::optional<Scenario> parse_scenario(std::string_view text) {
         return std::nullopt;
       }
       s.crashes.push_back(c);
+    } else if (key == "restart") {
+      ClusterRestart r;
+      if (!(fields >> r.at >> r.process) || r.process < 1 ||
+          r.process > s.n) {
+        return std::nullopt;
+      }
+      s.restarts.push_back(r);
     } else if (key == "fault") {
       std::string rest;
       std::getline(fields, rest);

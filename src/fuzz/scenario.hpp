@@ -2,9 +2,9 @@
 //
 // A `Scenario` is one fully-specified hostile execution: a stack choice,
 // group size, pipeline window W and batch size B, randomized client
-// traffic, a crash schedule, and a network `FaultPlan` — everything the
-// deterministic simulator needs to replay the run bit-for-bit from a
-// seed. `run_scenario` builds the cluster, drives the traffic, and runs
+// traffic, a crash/restart schedule, and a network `FaultPlan` —
+// everything the deterministic simulator needs to replay the run
+// bit-for-bit from a seed. `run_scenario` builds the cluster, drives the traffic, and runs
 // the invariant oracle over the delivery logs:
 //
 //   safety (always):        uniform total order (prefix consistency),
@@ -62,6 +62,11 @@ struct Scenario {
   /// instances, real pipeline/batch contention.
   std::uint32_t traffic_window_ms = 300;
   std::vector<ClusterCrash> crashes;
+  /// Crash-recovery schedule: a restarted process replays its durable
+  /// store and catches up from its peers (MemDir recovery). Honored only
+  /// on indirect-variant stacks — the recovery subsystem journals the
+  /// decided *id* order, which the direct (kMsgs) variant doesn't have.
+  std::vector<ClusterRestart> restarts;
   net::FaultPlan faults;
   /// Fuzzer self-test only: build the stacks with the deliberate
   /// ordering-dedup bug so the oracle has something real to catch.
@@ -69,7 +74,7 @@ struct Scenario {
 
   /// Shrink granularity: the events the shrinker may remove.
   std::size_t schedule_events() const {
-    return crashes.size() + faults.events.size();
+    return crashes.size() + restarts.size() + faults.events.size();
   }
 };
 
@@ -89,7 +94,8 @@ struct RunResult {
 };
 
 /// Draws a random scenario from `seed`: stack × n ∈ [3,5] × W ∈ {1,8} ×
-/// B ∈ {1,4}, a resilience-respecting crash schedule, and 0–5 fault
+/// B ∈ {1,4}, a resilience-respecting crash schedule (about half the
+/// crashes on indirect stacks gain a later restart), and 0–5 fault
 /// events across every FaultKind. Same seed, same scenario.
 Scenario generate_scenario(std::uint64_t seed);
 

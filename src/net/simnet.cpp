@@ -257,12 +257,41 @@ void SimNetwork::crash(ProcessId p) {
     nic.completion_event = 0;
   }
 
-  for (const CrashListener& fn : crash_listeners_) fn(p);
+  // Index loop: a listener may tear down a stack whose destructor
+  // unsubscribes (mutating the vector under us).
+  for (std::size_t i = 0; i < crash_listeners_.size(); ++i) {
+    crash_listeners_[i].second(p);
+  }
 }
 
 void SimNetwork::crash_at(TimePoint t, ProcessId p) {
   check_pid(p);
   sched_.schedule_at(t, [this, p] { crash(p); });
+}
+
+void SimNetwork::restart(ProcessId p) {
+  check_pid(p);
+  if (!crashed_[p]) return;
+  crashed_[p] = false;
+  // The new incarnation starts with an idle CPU; whatever was queued
+  // died with the old one (crash() already dropped the NIC).
+  cpu_busy_until_[p] = 0;
+  for (std::size_t i = 0; i < restart_listeners_.size(); ++i) {
+    restart_listeners_[i].second(p);
+  }
+}
+
+void SimNetwork::unsubscribe(ListenerId id) {
+  auto drop = [id](std::vector<std::pair<ListenerId, CrashListener>>& v) {
+    for (auto it = v.begin(); it != v.end(); ++it) {
+      if (it->first == id) {
+        v.erase(it);
+        return;
+      }
+    }
+  };
+  drop(crash_listeners_);
+  drop(restart_listeners_);
 }
 
 bool SimNetwork::crashed(ProcessId p) const {

@@ -52,6 +52,7 @@ class SimNetwork {
   using MessageHook = std::function<void(ProcessId, ProcessId, BytesView)>;
 
   using CrashListener = std::function<void(ProcessId)>;
+  using ListenerId = std::uint64_t;
 
   SimNetwork(sim::Scheduler& sched, std::uint32_t n, NetModel model,
              Rng rng);
@@ -89,6 +90,14 @@ class SimNetwork {
   /// Schedules a crash of `p` at absolute time `t`.
   void crash_at(TimePoint t, ProcessId p);
 
+  /// Revives a crashed `p`: it may send and receive again, with a fresh
+  /// CPU queue. Messages that were in flight toward `p` at crash time
+  /// and arrive after the restart are delivered — to the *new*
+  /// incarnation, which must treat them as arbitrarily delayed messages
+  /// (the asynchronous model already demands that). No-op if `p` is not
+  /// crashed. Restart listeners fire after the revival.
+  void restart(ProcessId p);
+
   bool crashed(ProcessId p) const;
 
   /// Number of processes not crashed.
@@ -100,9 +109,23 @@ class SimNetwork {
   void charge_cpu(ProcessId p, Duration cost);
 
   /// Registers a listener invoked (synchronously) when a process crashes.
-  void subscribe_crash(CrashListener fn) {
-    crash_listeners_.push_back(std::move(fn));
+  /// The returned id can be passed to `unsubscribe` — required whenever
+  /// the listener captures an object that may die before the network
+  /// (e.g. a PerfectFd inside a stack that a restart tears down).
+  ListenerId subscribe_crash(CrashListener fn) {
+    crash_listeners_.push_back({next_listener_id_, std::move(fn)});
+    return next_listener_id_++;
   }
+
+  /// Registers a listener invoked (synchronously) when a process
+  /// restarts (failure detectors clear their suspicion here).
+  ListenerId subscribe_restart(CrashListener fn) {
+    restart_listeners_.push_back({next_listener_id_, std::move(fn)});
+    return next_listener_id_++;
+  }
+
+  /// Removes a crash or restart listener. No-op for unknown ids.
+  void unsubscribe(ListenerId id);
 
   /// Hook invoked when a send is accepted (before any cost is charged).
   void set_sent_hook(MessageHook fn) { sent_hook_ = std::move(fn); }
@@ -180,7 +203,9 @@ class SimNetwork {
   DeliverFn deliver_;
   MessageHook sent_hook_;
   MessageHook delivered_hook_;
-  std::vector<CrashListener> crash_listeners_;
+  std::vector<std::pair<ListenerId, CrashListener>> crash_listeners_;
+  std::vector<std::pair<ListenerId, CrashListener>> restart_listeners_;
+  ListenerId next_listener_id_ = 1;
 
   std::vector<bool> crashed_;            // [1..n]
   std::vector<TimePoint> cpu_busy_until_;  // [1..n]

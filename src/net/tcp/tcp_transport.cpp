@@ -148,6 +148,15 @@ void TcpEnv::defer(TimerFn fn) {
   wake();
 }
 
+bool TcpEnv::run_at_idle(TimerFn fn) {
+  // Protocol callbacks all run on the reactor, so this is the only
+  // caller that matters; a cross-thread caller gets `false` and uses
+  // its timer fallback instead of racing the reactor for the queue.
+  if (!on_reactor()) return false;
+  idle_tasks_.push_back(std::move(fn));
+  return true;
+}
+
 void TcpEnv::start_thread() {
   thread_ = std::jthread([this](const std::stop_token& st) {
     reactor_loop(st);
@@ -165,6 +174,27 @@ void TcpEnv::request_stop() {
     peer.open = false;
     peer.outq.clear();
     peer.out_offset = 0;
+  }
+}
+
+void TcpEnv::reset_for_restart() {
+  IBC_REQUIRE_MSG(!thread_.joinable(), "reset with the reactor running");
+  local_tasks_.clear();
+  idle_tasks_.clear();
+  {
+    const std::scoped_lock lock(mu_);
+    pending_sends_.clear();
+    tasks_.clear();
+    timers_ = {};
+    live_timers_.clear();
+  }
+  receive_ = nullptr;
+  // Fresh peer slots: a decoder holding half a pre-crash frame must not
+  // parse the new incarnation's stream.
+  for (Peer& peer : peers_) peer = Peer{};
+  // Stale wakeup bytes would make the first poll spin.
+  std::uint8_t sink[256];
+  while (::read(wake_r_.get(), sink, sizeof sink) > 0) {
   }
 }
 
@@ -222,6 +252,16 @@ void TcpEnv::run_ready_tasks() {
   // returns" semantics as before.
   std::vector<TimerFn> batch;
   batch.swap(local_tasks_);
+  for (TimerFn& fn : batch) fn();
+}
+
+void TcpEnv::run_idle_tasks() {
+  // "Idle" = nothing ready to run this cycle: whatever an idle task was
+  // waiting to coalesce with has already happened. Tasks queued while
+  // the batch runs wait for the next idle cycle.
+  if (idle_tasks_.empty() || !local_tasks_.empty()) return;
+  std::vector<TimerFn> batch;
+  batch.swap(idle_tasks_);
   for (TimerFn& fn : batch) fn();
 }
 
@@ -343,6 +383,9 @@ void TcpEnv::reactor_loop(const std::stop_token& st) {
     drain_cross_thread();
     run_ready_tasks();
     fire_due_timers();
+    // Idle work (underfull-batch flushes) goes right before the writev
+    // flush: its output still rides this cycle's syscalls.
+    run_idle_tasks();
     flush_all_peers();
 
     const int timeout_ms = poll_timeout_ms();
@@ -526,17 +569,74 @@ void TcpCluster::kill(ProcessId p) {
 
 void TcpCluster::crash_at(TimePoint t, ProcessId p) {
   IBC_REQUIRE(p >= 1 && p <= n());
-  watchdogs_.emplace_back([this, t, p](const std::stop_token& st) {
-    std::mutex mu;
-    std::condition_variable_any cv;
-    std::unique_lock lock(mu);
-    const Duration delay = t - now();
-    if (delay > 0) {
-      cv.wait_for(lock, st, std::chrono::nanoseconds(delay),
-                  [] { return false; });
-    }
-    if (!st.stop_requested()) kill(p);
-  });
+  run_at(t, [this, p] { kill(p); });
+}
+
+void TcpCluster::restart(ProcessId p) {
+  IBC_REQUIRE(p >= 1 && p <= n());
+  {
+    const std::scoped_lock lock(state_mu_);
+    IBC_REQUIRE_MSG(killed_[p], "restart of a process that is alive");
+    IBC_REQUIRE_MSG(!shut_down_, "restart after shutdown");
+  }
+  envs_[p]->reset_for_restart();
+
+  // Re-dial the mesh: p listens on a fresh ephemeral port and every live
+  // peer connects back from its own reactor thread (which owns that
+  // peer's table — no lock needed), identifying itself with the same u32
+  // hello the initial mesh handshake uses. The dials all complete
+  // against the listen backlog before we accept, so the run_on calls
+  // cannot deadlock on each other.
+  auto [listener, port] = listen_loopback();
+  std::uint32_t expected = 0;
+  for (ProcessId q = 1; q <= n(); ++q) {
+    if (q == p || crashed(q)) continue;
+    ++expected;
+    run_on(q, [this, p, q, port = port] {
+      Fd dialer = connect_loopback(port);
+      const std::uint32_t hello = q;
+      IBC_REQUIRE(::write(dialer.get(), &hello, sizeof hello) ==
+                  sizeof hello);
+      make_nonblocking_nodelay(dialer);
+      TcpEnv::Peer& peer = envs_[q]->peers_[p];
+      peer = TcpEnv::Peer{};  // drop any half-flushed pre-crash frame
+      peer.fd = std::move(dialer);
+      peer.open = true;
+    });
+  }
+  for (std::uint32_t i = 0; i < expected; ++i) {
+    Fd accepted = accept_one(listener);
+    std::uint32_t got = 0;
+    IBC_REQUIRE(::read(accepted.get(), &got, sizeof got) == sizeof got);
+    IBC_REQUIRE(got >= 1 && got <= n() && got != p);
+    make_nonblocking_nodelay(accepted);
+    TcpEnv::Peer& peer = envs_[p]->peers_[got];
+    peer.fd = std::move(accepted);
+    peer.open = true;
+  }
+}
+
+void TcpCluster::resume(ProcessId p) {
+  IBC_REQUIRE(p >= 1 && p <= n());
+  envs_[p]->start_thread();
+  const std::scoped_lock lock(state_mu_);
+  killed_[p] = false;
+  kill_started_[p] = false;
+}
+
+void TcpCluster::run_at(TimePoint t, std::function<void()> fn) {
+  watchdogs_.emplace_back(
+      [this, t, fn = std::move(fn)](const std::stop_token& st) {
+        std::mutex mu;
+        std::condition_variable_any cv;
+        std::unique_lock lock(mu);
+        const Duration delay = t - now();
+        if (delay > 0) {
+          cv.wait_for(lock, st, std::chrono::nanoseconds(delay),
+                      [] { return false; });
+        }
+        if (!st.stop_requested()) fn();
+      });
 }
 
 bool TcpCluster::crashed(ProcessId p) const {

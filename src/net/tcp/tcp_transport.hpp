@@ -72,6 +72,7 @@ class TcpEnv final : public runtime::Env {
   runtime::TimerId set_timer(Duration delay, TimerFn fn) override;
   void cancel_timer(runtime::TimerId id) override;
   void defer(TimerFn fn) override;
+  bool run_at_idle(TimerFn fn) override;
   void charge_cpu(Duration) override {}  // real CPUs charge themselves
   void set_receive(ReceiveFn fn) override { receive_ = std::move(fn); }
   Rng& rng() override { return rng_; }
@@ -107,6 +108,10 @@ class TcpEnv final : public runtime::Env {
 
   void start_thread();
   void request_stop();
+  /// Clears every trace of the previous incarnation (timers, queued
+  /// tasks, cross-thread sends, peer decoders). Only legal once the
+  /// reactor thread is joined.
+  void reset_for_restart();
   void reactor_loop(const std::stop_token& st);
   void wake();
   /// True on the reactor thread — the lock-free, wake-free fast path.
@@ -123,6 +128,9 @@ class TcpEnv final : public runtime::Env {
   int poll_timeout_ms();
   void fire_due_timers();
   void run_ready_tasks();
+  /// Runs queued idle tasks iff no ready local work remains this cycle
+  /// (the reactor is about to flush and block in poll).
+  void run_idle_tasks();
   /// writev-flushes dst's queue until empty, EAGAIN, or error.
   void flush_peer(ProcessId dst);
   void flush_all_peers();
@@ -141,6 +149,10 @@ class TcpEnv final : public runtime::Env {
   /// Deferred work owned by the reactor thread (fast-path defer and
   /// loopback sends land here without locking).
   std::vector<TimerFn> local_tasks_;
+  /// Work to run when the reactor goes idle (reactor thread only); the
+  /// Batcher uses this to flush an underfull batch without waiting out
+  /// its max_delay ceiling.
+  std::vector<TimerFn> idle_tasks_;
 
   std::mutex mu_;  // guards the four members below
   std::vector<std::pair<ProcessId, Payload>> pending_sends_;
@@ -221,6 +233,21 @@ class TcpCluster final : public runtime::Host {
 
   /// Schedules a kill at absolute host time `t` on a watchdog thread.
   void crash_at(TimePoint t, ProcessId p) override;
+
+  /// Revives a killed `p`: wipes the old incarnation's reactor state and
+  /// re-dials the loopback mesh (each live peer connects back from its
+  /// own reactor thread). On return a fresh protocol stack can be built
+  /// on env(p); messages peers send meanwhile wait in the socket buffers.
+  /// Call resume(p) afterwards to start the new reactor.
+  void restart(ProcessId p) override;
+
+  /// Starts p's new reactor thread and marks it alive again.
+  void resume(ProcessId p) override;
+
+  /// Runs `fn` at absolute host time `t` on a watchdog thread (the same
+  /// mechanism as crash_at). Call from the controlling thread only —
+  /// the watchdog list is not itself thread-safe.
+  void run_at(TimePoint t, std::function<void()> fn) override;
 
   bool crashed(ProcessId p) const override;
   std::uint32_t alive_count() const override;

@@ -1,0 +1,74 @@
+// Peer catch-up protocol for restarted processes.
+//
+// After replay a restarted process knows the decided order up to its
+// durable log tail, but (a) decisions made while it was down are gone —
+// their decide floods were dropped at the dead NIC — and (b) the
+// payloads of its ordered-but-undelivered backlog lived in RAM. Both
+// gaps are filled from live peers over this layer:
+//
+//   ReqState{from_k}    ->  RespState{(k, appended-entries)...}
+//   ReqPayload{ids...}  ->  RespPayload{(id, payloads...)...}
+//
+// Every recovery-enabled process serves both requests from its
+// `RecoveryManager` (decision history + payload archive, with the
+// ordering core's received set as a fallback). The recovering side
+// polls: a repeating timer re-requests until the decision gap is closed
+// and no backlog payload is missing — responses feed the ordering core
+// through its normal idempotent entry points (`on_decision`,
+// `on_rdeliver`), so duplicate or overlapping responses from several
+// peers are harmless, and polling rides out message loss under hostile
+// fault plans. Decisions fetched here are the post-dedup appended
+// entries, applied in the same canonical order as at the serving peer,
+// so the total order is preserved (PROTOCOL.md D6).
+#pragma once
+
+#include <cstdint>
+
+#include "core/abcast_indirect.hpp"
+#include "recovery/recovery.hpp"
+#include "runtime/stack.hpp"
+
+namespace ibc::recovery {
+
+/// Stack layer id of the catch-up message pair.
+inline constexpr runtime::LayerId kLayerCatchup = 7;
+
+class CatchupLayer final : public runtime::Layer {
+ public:
+  CatchupLayer(RecoveryManager& manager, core::AbcastIndirect& abcast)
+      : manager_(manager), abcast_(abcast) {}
+
+  void bind(runtime::LayerContext ctx) { ctx_ = ctx; }
+
+  /// Starts the recovery poll (called by the runtime on a restarted
+  /// process after the stack is up). First-boot processes never poll —
+  /// they only serve.
+  void begin();
+
+  /// True once the decision gap is closed, no backlog payload is
+  /// missing, and a peer confirmed it has nothing newer.
+  bool caught_up() const { return begun_ && done_; }
+  bool recovering() const { return begun_ && !done_; }
+
+  void on_message(ProcessId from, Reader& r) override;
+
+ private:
+  void poll();
+  void handle_req_state(ProcessId from, Reader& r);
+  void handle_resp_state(Reader& r);
+  void handle_req_payload(ProcessId from, Reader& r);
+  void handle_resp_payload(Reader& r);
+
+  RecoveryManager& manager_;
+  core::AbcastIndirect& abcast_;
+  runtime::LayerContext ctx_;
+  bool begun_ = false;
+  bool done_ = false;
+  /// A peer answered ReqState exhaustively (short response).
+  bool state_synced_ = false;
+  /// Consecutive polls with nothing left to ask for; two in a row end
+  /// the poll loop.
+  std::uint32_t clean_polls_ = 0;
+};
+
+}  // namespace ibc::recovery

@@ -27,7 +27,11 @@ std::unique_ptr<runtime::Host> make_host(const ClusterOptions& options) {
 }  // namespace
 
 Cluster::Cluster(const ClusterOptions& options)
-    : host_(make_host(options)) {
+    : host_(make_host(options)),
+      stack_config_(options.effective_stack()),
+      record_deliveries_(options.record_deliveries),
+      recovery_enabled_(options.recovery_enabled),
+      recovery_config_(options.recovery) {
   if (!options.faults.empty()) {
     net::SimNetwork* net = host_->sim_network();
     IBC_REQUIRE_MSG(net != nullptr,
@@ -35,23 +39,21 @@ Cluster::Cluster(const ClusterOptions& options)
     net->set_fault_plan(options.faults);
   }
   logs_.resize(options.n + 1);
+  retired_recovery_.resize(options.n + 1);
+  stores_.resize(options.n + 1);
+  if (recovery_enabled_) {
+    for (ProcessId p = 1; p <= options.n; ++p) stores_[p] = make_store(p);
+  }
   nodes_.reserve(options.n);
-  const abcast::StackConfig stack = options.effective_stack();
   for (ProcessId p = 1; p <= options.n; ++p) {
-    Node node(this, p,
-              std::make_unique<abcast::ProcessStack>(*host_, p, stack));
+    nodes_.push_back(Node(this, p,
+                          std::make_unique<abcast::ProcessStack>(
+                              *host_, p, stack_config_, stores_[p].get(),
+                              recovery_config_)));
     // Built-in delivery recorder. Subscribed before the host starts, so
     // no callback can race the registration even on TCP. The Payload is
     // retained by reference — recording does not copy the bytes.
-    if (options.record_deliveries) {
-      node.stack_->abcast().subscribe(
-          [this, p](const MessageId& id, const Payload& payload) {
-            const TimePoint at = host_->now();
-            const std::scoped_lock lock(log_mu_);
-            logs_[p].push_back(Delivery{id, payload, at});
-          });
-    }
-    nodes_.push_back(std::move(node));
+    if (record_deliveries_) subscribe_recorder(p);
   }
 
   host_->start();
@@ -60,6 +62,9 @@ Cluster::Cluster(const ClusterOptions& options)
   }
   for (const ClusterCrash& crash : options.crashes) {
     host_->crash_at(crash.at, crash.process);
+  }
+  for (const ClusterRestart& restart : options.restarts) {
+    restart_at(restart.at, restart.process);
   }
 }
 
@@ -73,6 +78,72 @@ void Cluster::check_pid(ProcessId p) const {
 Cluster::Node& Cluster::node(ProcessId p) {
   check_pid(p);
   return nodes_[p - 1];
+}
+
+void Cluster::subscribe_recorder(ProcessId p) {
+  nodes_[p - 1].stack_->abcast().subscribe(
+      [this, p](const MessageId& id, const Payload& payload) {
+        const TimePoint at = host_->now();
+        const std::scoped_lock lock(log_mu_);
+        logs_[p].push_back(Delivery{id, payload, at});
+      });
+}
+
+std::unique_ptr<store::Dir> Cluster::make_store(ProcessId p) const {
+  switch (recovery_config_.medium) {
+    case recovery::Config::Medium::kMem:
+      return std::make_unique<store::MemDir>();
+    case recovery::Config::Medium::kFs:
+      IBC_REQUIRE_MSG(!recovery_config_.fs_path.empty(),
+                      "Medium::kFs needs recovery::Config::fs_path");
+      return std::make_unique<store::FsDir>(recovery_config_.fs_path +
+                                            "/p" + std::to_string(p));
+  }
+  IBC_UNREACHABLE("unknown recovery::Medium");
+}
+
+void Cluster::restart(ProcessId p) {
+  check_pid(p);
+  IBC_REQUIRE_MSG(recovery_enabled_,
+                  "restart needs ClusterOptions::with_recovery()");
+  if (!host_->crashed(p)) return;  // schedule kept a restart, lost the crash
+
+  host_->restart(p);
+  // What a real crash loses: every byte appended after the last fsync.
+  // Done lazily here (nothing appends between crash and restart, so the
+  // effect is identical to dropping it at crash time).
+  stores_[p]->drop_unsynced();
+
+  {
+    const std::scoped_lock lock(restart_mu_);
+    Node& node = nodes_[p - 1];
+    if (const recovery::RecoveryManager* rm =
+            node.stack_->recovery_manager()) {
+      retired_recovery_[p] += rm->counters();
+    }
+    node.subscriptions_.clear();  // they captured the dying stack
+    node.stack_.reset();          // old incarnation dies before the new one
+    node.stack_ = std::make_unique<abcast::ProcessStack>(
+        *host_, p, stack_config_, stores_[p].get(), recovery_config_);
+    if (record_deliveries_) subscribe_recorder(p);
+    if (restart_listener_) restart_listener_(p);
+  }
+
+  host_->resume(p);
+  host_->run_on(p, [this, p] {
+    nodes_[p - 1].stack_->start();
+    nodes_[p - 1].stack_->begin_catchup();
+  });
+}
+
+void Cluster::restart_at(TimePoint t, ProcessId p) {
+  check_pid(p);
+  host_->run_at(t, [this, p] { restart(p); });
+}
+
+void Cluster::set_restart_listener(std::function<void(ProcessId)> fn) {
+  const std::scoped_lock lock(restart_mu_);
+  restart_listener_ = std::move(fn);
 }
 
 Duration Cluster::run_until_quiesced(Duration idle, Duration limit) {
@@ -134,6 +205,8 @@ std::size_t Cluster::total_deliveries() const {
 
 ClusterStats Cluster::stats() {
   ClusterStats stats;
+  // Excludes a concurrent restart from swapping stacks mid-read.
+  const std::scoped_lock restart_lock(restart_mu_);
   for (ProcessId p = 1; p <= n(); ++p) {
     consensus::Consensus::Stats engine{};
     std::uint64_t completed = 0;
@@ -142,8 +215,10 @@ ClusterStats Cluster::stats() {
     std::uint64_t batches = 0;
     std::uint64_t batched_msgs = 0;
     std::uint64_t copied = 0;
+    recovery::Counters rec = retired_recovery_[p];
     const auto read_stats = [this, p, &engine, &completed, &high_water,
-                             &deduped, &batches, &batched_msgs, &copied] {
+                             &deduped, &batches, &batched_msgs, &copied,
+                             &rec] {
       engine = nodes_[p - 1].stack_->consensus_stats();
       if (const core::OrderingCore* ord = nodes_[p - 1].stack_->ordering()) {
         completed = ord->instances_completed();
@@ -155,6 +230,10 @@ ClusterStats Cluster::stats() {
         batched_msgs = b->msgs_sent();
       }
       copied = nodes_[p - 1].stack_->broadcast().payload_bytes_copied();
+      if (const recovery::RecoveryManager* rm =
+              nodes_[p - 1].stack_->recovery_manager()) {
+        rec += rm->counters();
+      }
     };
     bool read = false;
     if (!host_->crashed(p)) {
@@ -177,6 +256,12 @@ ClusterStats Cluster::stats() {
     stats.batches_sent += batches;
     stats.msgs_batched += batched_msgs;
     stats.payload_bytes_copied += copied;
+    stats.log_appends += rec.log_appends;
+    stats.log_bytes += rec.log_bytes;
+    stats.fsyncs += rec.fsyncs;
+    stats.snapshot_count += rec.snapshot_count;
+    stats.catchup_ids_fetched += rec.catchup_ids_fetched;
+    stats.replay_ms += rec.replay_ms;
   }
   stats.msgs_per_batch_avg =
       stats.batches_sent == 0

@@ -32,7 +32,9 @@
 #include "core/abcast_service.hpp"
 #include "net/faults.hpp"
 #include "net/netmodel.hpp"
+#include "recovery/recovery.hpp"
 #include "runtime/host.hpp"
+#include "store/storage.hpp"
 #include "util/bytes.hpp"
 #include "util/payload.hpp"
 #include "util/time.hpp"
@@ -43,6 +45,15 @@ namespace ibc {
 /// One scheduled crash: process `process` dies at absolute host time
 /// `at`.
 struct ClusterCrash {
+  TimePoint at = 0;
+  ProcessId process = kInvalidProcess;
+};
+
+/// One scheduled recovery: process `process` comes back at absolute host
+/// time `at`, replays its durable store, and catches up from its peers.
+/// Requires `with_recovery()`; a restart of a process that never crashed
+/// is a no-op (schedule minimizers drop crashes independently).
+struct ClusterRestart {
   TimePoint at = 0;
   ProcessId process = kInvalidProcess;
 };
@@ -63,6 +74,13 @@ struct ClusterOptions {
   runtime::HostKind host = runtime::HostKind::kSim;
   net::NetModel model = net::NetModel::fast_test();  // kSim only
   std::vector<ClusterCrash> crashes;
+  std::vector<ClusterRestart> restarts;
+  /// Crash-recovery subsystem (docs/ARCHITECTURE.md "Durability &
+  /// recovery"): when enabled, every process journals its decided order
+  /// to a per-process durable store and `restart`/`restart_at` bring
+  /// crashed processes back. Indirect-variant stacks only.
+  bool recovery_enabled = false;
+  recovery::Config recovery;
   /// Hostile-network schedule (kSim only): partitions, delays,
   /// drop/duplicate/reorder bursts composed with the crash schedule.
   net::FaultPlan faults;
@@ -140,6 +158,21 @@ struct ClusterOptions {
     crashes.push_back(ClusterCrash{at, process});
     return *this;
   }
+  /// Enables the crash-recovery subsystem with `config` (default: an
+  /// in-memory store with strict fsync discipline).
+  ClusterOptions& with_recovery(const recovery::Config& config = {}) {
+    recovery_enabled = true;
+    recovery = config;
+    return *this;
+  }
+  /// Schedules a restart of `process` at absolute host time `at`.
+  /// Implies nothing about a crash: pair it with `with_crash` at an
+  /// earlier time. Enables recovery if not already enabled.
+  ClusterOptions& with_restart(TimePoint at, ProcessId process) {
+    recovery_enabled = true;
+    restarts.push_back(ClusterRestart{at, process});
+    return *this;
+  }
   /// Installs the adversary schedule (replaces any previous plan).
   ClusterOptions& with_faults(net::FaultPlan plan) {
     faults = std::move(plan);
@@ -182,6 +215,14 @@ struct ClusterStats {
   std::uint64_t dropped_fault = 0;       // discarded by the fault plan
   std::uint64_t duplicated_fault = 0;    // extra copies injected
   std::uint64_t delayed_fault = 0;       // held by a cut or delayed
+  // Durability & recovery counters (recovery-enabled clusters only;
+  // summed over processes and across incarnations).
+  std::uint64_t log_appends = 0;         // WAL records written
+  std::uint64_t log_bytes = 0;           // WAL bytes incl. framing
+  std::uint64_t fsyncs = 0;              // store sync calls issued
+  std::uint64_t snapshot_count = 0;      // snapshots taken
+  std::uint64_t catchup_ids_fetched = 0; // ids learned from peers
+  double replay_ms = 0.0;                // time spent replaying, summed
 };
 
 class Cluster {
@@ -222,6 +263,26 @@ class Cluster {
   void crash(ProcessId p) { host_->crash(p); }
   void crash_at(TimePoint t, ProcessId p) { host_->crash_at(t, p); }
 
+  /// Brings a crashed `p` back (on either host): revives the host
+  /// endpoint, drops the store's un-fsynced tail (what a real crash
+  /// loses), rebuilds the protocol stack against the same durable store
+  /// — replaying snapshot + log — and starts the peer catch-up protocol.
+  /// Requires `with_recovery()`. No-op if `p` never crashed. Delivery
+  /// recording continues in the same per-process log; `on_deliver`
+  /// subscriptions do not survive a restart (re-register if needed).
+  void restart(ProcessId p);
+
+  /// Schedules `restart(p)` at absolute host time `t`.
+  void restart_at(TimePoint t, ProcessId p);
+
+  /// Installs a hook invoked by `restart(p)` after the new stack is
+  /// built but before the process resumes: external observers whose
+  /// `on_deliver` subscriptions died with the old incarnation (e.g. the
+  /// experiment driver's latency recorder) re-subscribe here, via
+  /// `node(p).stack()` directly — the process is not yet executing, so
+  /// no hop onto its context is needed (or possible).
+  void set_restart_listener(std::function<void(ProcessId)> fn);
+
   /// Lets the cluster run for `d` of host time.
   std::size_t run_for(Duration d) { return host_->run_for(d); }
 
@@ -258,9 +319,29 @@ class Cluster {
 
  private:
   void check_pid(ProcessId p) const;
+  void subscribe_recorder(ProcessId p);
+  std::unique_ptr<store::Dir> make_store(ProcessId p) const;
 
   std::unique_ptr<runtime::Host> host_;
   std::vector<Node> nodes_;  // [0..n-1] holds p = 1..n
+
+  // Rebuild recipe for restarts.
+  abcast::StackConfig stack_config_;
+  bool record_deliveries_ = true;
+  bool recovery_enabled_ = false;
+  recovery::Config recovery_config_;
+  /// Per-process durable stores [1..n]; they outlive the stacks, which
+  /// is the whole point: a restarted stack replays the same store.
+  std::vector<std::unique_ptr<store::Dir>> stores_;
+  /// Recovery counters of dead incarnations (a restart destroys the old
+  /// RecoveryManager; its totals move here so stats() never loses them).
+  std::vector<recovery::Counters> retired_recovery_;  // [1..n]
+
+  /// Serializes restart's stack swap against stats() reading stack
+  /// pointers (a TCP restart runs on a watchdog thread).
+  std::mutex restart_mu_;
+  /// Guarded by restart_mu_; see set_restart_listener.
+  std::function<void(ProcessId)> restart_listener_;
 
   mutable std::mutex log_mu_;
   std::vector<std::vector<Delivery>> logs_;  // [1..n]; [0] unused

@@ -71,6 +71,18 @@ class Env {
   /// the current callback returns.
   virtual void defer(TimerFn fn) = 0;
 
+  /// Queues `fn` to run once the execution context has no ready work
+  /// left (e.g. the TCP reactor is about to block in poll). Returns
+  /// false when the host has no idleness notion or the caller is not on
+  /// the process's context — the caller then falls back to plain
+  /// timers. The simulator keeps the default: its virtual time makes
+  /// "idle" meaningless (every timer fires at its exact tick), and
+  /// declining preserves bit-identical schedules.
+  virtual bool run_at_idle(TimerFn fn) {
+    (void)fn;
+    return false;
+  }
+
   /// Charges modeled CPU time (no-op outside the simulator). Protocols use
   /// it to account for work whose real C++ cost is negligible but whose
   /// cost in the paper's Java testbed is part of the measured effect.

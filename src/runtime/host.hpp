@@ -89,6 +89,24 @@ class Host {
   virtual void crash(ProcessId p) = 0;
   virtual void crash_at(TimePoint t, ProcessId p) = 0;
 
+  /// Revives a crashed `p` to the point where a fresh protocol stack can
+  /// be built on `env(p)`: the old incarnation's timers and queues are
+  /// gone, the network endpoint works again, but no callbacks run yet.
+  /// The caller builds the new stack (installing the receive handler),
+  /// then calls `resume(p)` to let execution continue. Precondition:
+  /// `crashed(p)`.
+  virtual void restart(ProcessId p) = 0;
+
+  /// Completes a restart begun with `restart(p)`: starts p's reactor
+  /// thread on TCP (no-op on the simulator).
+  virtual void resume(ProcessId p) = 0;
+
+  /// Runs `fn` on the host's scheduling context at absolute host time
+  /// `t` (a scheduler event on the simulator; a watchdog thread on TCP).
+  /// `fn` runs outside any process context — it may call crash/restart
+  /// and run_on.
+  virtual void run_at(TimePoint t, std::function<void()> fn) = 0;
+
   virtual bool crashed(ProcessId p) const = 0;
   virtual std::uint32_t alive_count() const = 0;
 

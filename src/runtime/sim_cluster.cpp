@@ -32,16 +32,16 @@ void SimEnv::multicast(Payload msg) {
 TimerId SimEnv::set_timer(Duration delay, TimerFn fn) {
   IBC_REQUIRE(delay >= 0);
   return sched_.schedule_after(
-      delay, [this, fn = std::move(fn)] {
-        if (!net_.crashed(self_)) fn();
+      delay, [this, epoch = epoch_, fn = std::move(fn)] {
+        if (!net_.crashed(self_) && epoch == epoch_) fn();
       });
 }
 
 void SimEnv::cancel_timer(TimerId id) { sched_.cancel(id); }
 
 void SimEnv::defer(TimerFn fn) {
-  sched_.schedule_after(0, [this, fn = std::move(fn)] {
-    if (!net_.crashed(self_)) fn();
+  sched_.schedule_after(0, [this, epoch = epoch_, fn = std::move(fn)] {
+    if (!net_.crashed(self_) && epoch == epoch_) fn();
   });
 }
 
@@ -70,6 +70,12 @@ SimCluster::SimCluster(std::uint32_t n, const net::NetModel& model,
 Env& SimCluster::env(ProcessId p) {
   IBC_REQUIRE(p >= 1 && p < envs_.size());
   return *envs_[p];
+}
+
+void SimCluster::restart(ProcessId p) {
+  IBC_REQUIRE_MSG(net_.crashed(p), "restart of a process that is alive");
+  envs_[p]->bump_epoch();
+  net_.restart(p);
 }
 
 }  // namespace ibc::runtime

@@ -39,6 +39,12 @@ class SimEnv final : public Env {
   /// Called by the cluster when the network delivers a message to self.
   void handle_delivery(ProcessId from, BytesView msg);
 
+  /// Invalidates every timer and deferred callback armed so far: they
+  /// belong to the incarnation that just crashed and must not fire into
+  /// the stack built for the next one (the `!crashed` guard alone would
+  /// pass again after a restart). Called by SimCluster::restart.
+  void bump_epoch() { ++epoch_; }
+
  private:
   sim::Scheduler& sched_;
   net::SimNetwork& net_;
@@ -46,6 +52,7 @@ class SimEnv final : public Env {
   Rng rng_;
   Logger log_;
   ReceiveFn receive_;
+  std::uint64_t epoch_ = 0;
 };
 
 /// A complete simulated group: scheduler, network, and one SimEnv per
@@ -77,6 +84,17 @@ class SimCluster final : public Host {
   /// Crashes `p` now / at absolute simulated time `t`.
   void crash(ProcessId p) override { net_.crash(p); }
   void crash_at(TimePoint t, ProcessId p) override { net_.crash_at(t, p); }
+
+  /// Revives `p`: pre-crash timers/deferred callbacks are invalidated
+  /// (epoch bump) before the network endpoint comes back, so nothing of
+  /// the old incarnation can fire into the new stack.
+  void restart(ProcessId p) override;
+  void resume(ProcessId) override {}  // single-threaded: nothing to resume
+
+  void run_at(TimePoint t, std::function<void()> fn) override {
+    sched_.schedule_at(t, std::move(fn));
+  }
+
   bool crashed(ProcessId p) const override { return net_.crashed(p); }
   std::uint32_t alive_count() const override { return net_.alive_count(); }
 

@@ -1,0 +1,216 @@
+#include "store/storage.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <filesystem>
+#include <utility>
+
+#include "util/assert.hpp"
+
+namespace ibc::store {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) != 0 ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(BytesView data) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  std::uint32_t c = 0xFFFFFFFFu;
+  for (std::uint8_t b : data) c = table[(c ^ b) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+// ---------------------------------------------------------------- MemDir
+
+void MemDir::append(const std::string& name, BytesView data) {
+  Bytes& bytes = files_[name].bytes;
+  bytes.insert(bytes.end(), data.begin(), data.end());
+}
+
+void MemDir::sync(const std::string& name) {
+  const auto it = files_.find(name);
+  IBC_REQUIRE_MSG(it != files_.end(), "sync of a file that does not exist");
+  it->second.synced = it->second.bytes.size();
+}
+
+bool MemDir::exists(const std::string& name) const {
+  return files_.contains(name);
+}
+
+std::uint64_t MemDir::size(const std::string& name) const {
+  const auto it = files_.find(name);
+  return it == files_.end() ? 0 : it->second.bytes.size();
+}
+
+Bytes MemDir::read(const std::string& name) const {
+  const auto it = files_.find(name);
+  IBC_REQUIRE_MSG(it != files_.end(), "read of a file that does not exist");
+  return it->second.bytes;
+}
+
+void MemDir::remove(const std::string& name) { files_.erase(name); }
+
+void MemDir::rename(const std::string& from, const std::string& to) {
+  auto it = files_.find(from);
+  IBC_REQUIRE_MSG(it != files_.end(), "rename of a file that does not exist");
+  File f = std::move(it->second);
+  files_.erase(it);
+  files_[to] = std::move(f);
+}
+
+std::vector<std::string> MemDir::list() const {
+  std::vector<std::string> names;
+  names.reserve(files_.size());
+  for (const auto& [name, file] : files_) names.push_back(name);
+  return names;  // std::map iterates sorted
+}
+
+void MemDir::drop_unsynced() {
+  for (auto it = files_.begin(); it != files_.end();) {
+    File& f = it->second;
+    if (f.synced == 0) {
+      it = files_.erase(it);  // never synced: the file itself is gone
+      continue;
+    }
+    f.bytes.resize(f.synced);
+    ++it;
+  }
+}
+
+// ----------------------------------------------------------------- FsDir
+
+FsDir::FsDir(std::string path) : path_(std::move(path)) {
+  std::filesystem::create_directories(path_);
+}
+
+FsDir::~FsDir() {
+  for (auto& [name, open] : open_) {
+    if (open.fd >= 0) ::close(open.fd);
+  }
+}
+
+std::string FsDir::full(const std::string& name) const {
+  return path_ + "/" + name;
+}
+
+FsDir::Open& FsDir::open_file(const std::string& name) const {
+  auto it = open_.find(name);
+  if (it != open_.end()) return it->second;
+  const bool existed = std::filesystem::exists(full(name));
+  const int fd = ::open(full(name).c_str(), O_RDWR | O_CREAT, 0644);
+  IBC_REQUIRE_MSG(fd >= 0, "FsDir: open failed");
+  Open open;
+  open.fd = fd;
+  open.size = static_cast<std::uint64_t>(::lseek(fd, 0, SEEK_END));
+  // A file found on disk survived its writer: its contents are durable.
+  open.synced = existed ? open.size : 0;
+  return open_.emplace(name, open).first->second;
+}
+
+void FsDir::append(const std::string& name, BytesView data) {
+  Open& f = open_file(name);
+  std::size_t done = 0;
+  while (done < data.size()) {
+    const ssize_t n =
+        ::pwrite(f.fd, data.data() + done, data.size() - done,
+                 static_cast<off_t>(f.size + done));
+    IBC_REQUIRE_MSG(n > 0, "FsDir: pwrite failed");
+    done += static_cast<std::size_t>(n);
+  }
+  f.size += data.size();
+}
+
+void FsDir::sync(const std::string& name) {
+  Open& f = open_file(name);
+  IBC_REQUIRE_MSG(::fsync(f.fd) == 0, "FsDir: fsync failed");
+  f.synced = f.size;
+}
+
+bool FsDir::exists(const std::string& name) const {
+  return open_.contains(name) || std::filesystem::exists(full(name));
+}
+
+std::uint64_t FsDir::size(const std::string& name) const {
+  if (!exists(name)) return 0;
+  return open_file(name).size;
+}
+
+Bytes FsDir::read(const std::string& name) const {
+  Open& f = open_file(name);
+  Bytes out(f.size);
+  std::size_t done = 0;
+  while (done < out.size()) {
+    const ssize_t n = ::pread(f.fd, out.data() + done, out.size() - done,
+                              static_cast<off_t>(done));
+    IBC_REQUIRE_MSG(n > 0, "FsDir: pread failed");
+    done += static_cast<std::size_t>(n);
+  }
+  return out;
+}
+
+void FsDir::remove(const std::string& name) {
+  const auto it = open_.find(name);
+  if (it != open_.end()) {
+    ::close(it->second.fd);
+    open_.erase(it);
+  }
+  std::filesystem::remove(full(name));
+}
+
+void FsDir::rename(const std::string& from, const std::string& to) {
+  // Close both handles; the destination reopens as a durable file.
+  for (const std::string* name : {&from, &to}) {
+    const auto it = open_.find(*name);
+    if (it != open_.end()) {
+      ::close(it->second.fd);
+      open_.erase(it);
+    }
+  }
+  std::filesystem::rename(full(from), full(to));
+}
+
+std::vector<std::string> FsDir::list() const {
+  std::vector<std::string> names;
+  for (const auto& entry : std::filesystem::directory_iterator(path_)) {
+    if (entry.is_regular_file()) {
+      names.push_back(entry.path().filename().string());
+    }
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+void FsDir::drop_unsynced() {
+  // Every file touched through this handle gets truncated back to its
+  // watermark; files only ever seen on disk are durable by definition.
+  for (auto it = open_.begin(); it != open_.end();) {
+    Open& f = it->second;
+    if (f.synced == 0) {
+      ::close(f.fd);
+      std::filesystem::remove(full(it->first));
+      it = open_.erase(it);
+      continue;
+    }
+    IBC_REQUIRE_MSG(::ftruncate(f.fd, static_cast<off_t>(f.synced)) == 0,
+                    "FsDir: ftruncate failed");
+    f.size = f.synced;
+    ++it;
+  }
+}
+
+}  // namespace ibc::store

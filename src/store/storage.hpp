@@ -1,0 +1,124 @@
+// Durable byte storage for the recovery subsystem.
+//
+// A `Dir` is a flat namespace of append-only files with an explicit
+// durability line: bytes appended but not yet `sync`ed live in the "page
+// cache" and are LOST when the owning process crashes. Both backends
+// model that line the same way — a per-file synced-size watermark — so a
+// simulated crash (`drop_unsynced`) truncates every file back to its
+// last sync on either medium:
+//
+//   MemDir   everything in RAM; sync just moves the watermark. The
+//            deterministic backend the simulator and fuzzer use.
+//   FsDir    a real directory with real fsync. The watermark still
+//            exists so tests can model powerloss-style tail loss
+//            without actually pulling the plug.
+//
+// `rename` is the atomic-publish primitive (snapshot tmp -> final);
+// callers sync the source first, so a renamed file is durable.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace ibc::store {
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) over `data`. Every log
+/// record and snapshot body is checksummed with this so replay can
+/// detect a torn tail.
+std::uint32_t crc32(BytesView data);
+
+class Dir {
+ public:
+  virtual ~Dir() = default;
+
+  /// Appends `data` to `name`, creating the file if needed. The bytes
+  /// are volatile until the next `sync(name)`.
+  virtual void append(const std::string& name, BytesView data) = 0;
+
+  /// Makes everything appended to `name` so far durable.
+  virtual void sync(const std::string& name) = 0;
+
+  virtual bool exists(const std::string& name) const = 0;
+  virtual std::uint64_t size(const std::string& name) const = 0;
+
+  /// Full current contents (durable prefix + volatile tail).
+  virtual Bytes read(const std::string& name) const = 0;
+
+  virtual void remove(const std::string& name) = 0;
+
+  /// Atomically replaces `to` with `from`. Sync `from` first; the move
+  /// itself is modeled as durable.
+  virtual void rename(const std::string& from, const std::string& to) = 0;
+
+  /// All file names, sorted.
+  virtual std::vector<std::string> list() const = 0;
+
+  /// Crash model: truncates every file to its synced watermark and
+  /// drops files never synced — what a process restarting after a crash
+  /// would find. Called once by the runtime before recovery.
+  virtual void drop_unsynced() = 0;
+};
+
+/// In-memory backend (deterministic, used by the simulator and fuzzer).
+class MemDir final : public Dir {
+ public:
+  void append(const std::string& name, BytesView data) override;
+  void sync(const std::string& name) override;
+  bool exists(const std::string& name) const override;
+  std::uint64_t size(const std::string& name) const override;
+  Bytes read(const std::string& name) const override;
+  void remove(const std::string& name) override;
+  void rename(const std::string& from, const std::string& to) override;
+  std::vector<std::string> list() const override;
+  void drop_unsynced() override;
+
+ private:
+  struct File {
+    Bytes bytes;
+    std::uint64_t synced = 0;
+  };
+  std::map<std::string, File> files_;
+};
+
+/// Filesystem backend rooted at `path` (created if missing). Appends go
+/// through buffered writes; `sync` fsyncs. The synced watermark is kept
+/// in RAM purely for `drop_unsynced` — a real kill would rely on the
+/// kernel, which this test double deliberately pessimizes.
+class FsDir final : public Dir {
+ public:
+  explicit FsDir(std::string path);
+  ~FsDir() override;
+
+  FsDir(const FsDir&) = delete;
+  FsDir& operator=(const FsDir&) = delete;
+
+  void append(const std::string& name, BytesView data) override;
+  void sync(const std::string& name) override;
+  bool exists(const std::string& name) const override;
+  std::uint64_t size(const std::string& name) const override;
+  Bytes read(const std::string& name) const override;
+  void remove(const std::string& name) override;
+  void rename(const std::string& from, const std::string& to) override;
+  std::vector<std::string> list() const override;
+  void drop_unsynced() override;
+
+  const std::string& path() const { return path_; }
+
+ private:
+  struct Open {
+    int fd = -1;
+    std::uint64_t size = 0;
+    std::uint64_t synced = 0;
+  };
+  Open& open_file(const std::string& name) const;
+  std::string full(const std::string& name) const;
+
+  std::string path_;
+  mutable std::map<std::string, Open> open_;
+};
+
+}  // namespace ibc::store

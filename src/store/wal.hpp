@@ -1,0 +1,109 @@
+// Write-ahead segment log of the decided order.
+//
+// The log is a sequence of append-only segments `wal-000001.seg`,
+// `wal-000002.seg`, ... inside a `Dir`. Each record is framed
+//
+//   u32 body_len | u32 crc32(body) | body
+//
+// and bodies are typed (`RecordType` + payload, written by the recovery
+// manager). Appends accumulate in the current segment until it crosses
+// the rotation threshold; `sync` makes every segment with volatile bytes
+// durable, in order, so a synced record implies every earlier record is
+// synced too (the property replay relies on: the durable prefix of the
+// log is a prefix of what was written).
+//
+// Replay walks segments from a floor index and stops cleanly at the
+// first short or CRC-failing record — a torn tail, the normal result of
+// crashing between appends. After a torn tail the writer must rotate
+// before appending again (the recovery manager does), since bytes after
+// the tear are unreachable garbage.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "store/storage.hpp"
+
+namespace ibc::store {
+
+/// Body tag of a log record (first byte of every body).
+enum class RecordType : std::uint8_t {
+  /// `u64 k` — this process is about to propose in instance k. Synced
+  /// before the propose leaves, so a restarted process never proposes
+  /// (and thus never equivocates) in an instance it already touched.
+  kOpen = 1,
+  /// `u64 k | u32 m | m × message_id` — instance k's decision was
+  /// applied; the ids are the post-dedup entries appended to `ordered`,
+  /// in append order. Not synced on its own: a lost tail is refilled by
+  /// peer catch-up.
+  kDecide = 2,
+  /// `message_id head | u32 msgs` — the head batch was A-delivered
+  /// (msgs constituent messages). Synced before the delivery callbacks
+  /// fire (group commit per deliverable run), which is what makes
+  /// redelivery after restart impossible.
+  kDeliver = 3,
+  /// `u64 reserved_up_to` — sequence numbers up to and including this
+  /// value may have been used by this origin. Synced before the first
+  /// id of the chunk is handed out, so MessageIds are never reused.
+  kSeqReserve = 4,
+};
+
+struct WalCounters {
+  std::uint64_t appends = 0;
+  std::uint64_t bytes = 0;  // framed bytes written
+  std::uint64_t fsyncs = 0;
+  std::uint64_t rotations = 0;
+};
+
+struct ReplayResult {
+  std::uint64_t records = 0;
+  /// True if replay stopped at a short/corrupt record instead of the
+  /// end of the last segment.
+  bool torn_tail = false;
+};
+
+class SegmentLog {
+ public:
+  /// Binds to `dir`, continuing after the highest existing segment (or
+  /// starting at segment 1 of an empty dir). Rotation happens when the
+  /// current segment exceeds `segment_bytes`.
+  SegmentLog(Dir& dir, std::uint64_t segment_bytes);
+
+  /// Appends one framed record. May rotate first.
+  void append(BytesView body);
+
+  /// Syncs every segment with volatile bytes, oldest first.
+  void sync();
+
+  /// Starts a fresh segment (subsequent appends go there).
+  void rotate();
+
+  std::uint32_t current_index() const { return current_; }
+
+  /// Deletes all segments with index < `floor` (after a snapshot has
+  /// made them redundant).
+  void remove_segments_below(std::uint32_t floor);
+
+  /// Replays the bodies of every record in segments >= `floor`, in log
+  /// order. Bodies passed to `fn` are CRC-verified.
+  ReplayResult replay(std::uint32_t floor,
+                      const std::function<void(BytesView)>& fn) const;
+
+  const WalCounters& counters() const { return counters_; }
+
+  /// Segment file name for an index ("wal-000007.seg").
+  static std::string segment_name(std::uint32_t index);
+  /// Parses a segment index out of a name; 0 if not a segment file.
+  static std::uint32_t parse_segment(const std::string& name);
+
+ private:
+  Dir& dir_;
+  std::uint64_t segment_bytes_;
+  std::uint32_t current_ = 1;
+  std::uint32_t dirty_floor_ = 1;  // oldest segment with volatile bytes
+  bool dirty_ = false;
+  WalCounters counters_;
+};
+
+}  // namespace ibc::store

@@ -15,42 +15,48 @@ namespace {
 /// process's own Env, so a crashed process stops generating. The
 /// recorder is shared across processes, hence the mutex (uncontended on
 /// the single-threaded simulator, required on TCP reactors).
+///
+/// The abcast service is resolved per send, not bound at construction:
+/// a restart replaces the process's stack, and a reference into the old
+/// incarnation would dangle. The Env survives restarts (the host owns
+/// it), so the timer chain's home is stable.
 class Source {
  public:
-  Source(runtime::Env& env, core::AbcastService& ab, LatencyRecorder& rec,
+  Source(Cluster& cluster, ProcessId p, LatencyRecorder& rec,
          std::mutex& rec_mu, double rate_per_sec, std::size_t payload_bytes,
          TimePoint stop_at)
-      : env_(env),
-        abcast_(ab),
+      : cluster_(cluster),
+        process_(p),
         recorder_(rec),
         rec_mu_(rec_mu),
         mean_gap_ns_(1e9 / rate_per_sec),
-        payload_(payload_bytes,
-                 static_cast<std::uint8_t>(0xA0 + env.self() % 16)),
+        payload_(payload_bytes, static_cast<std::uint8_t>(0xA0 + p % 16)),
         stop_at_(stop_at) {}
 
   void start() { schedule_next(); }
 
  private:
   void schedule_next() {
-    const auto gap = static_cast<Duration>(
-        env_.rng().next_exponential(mean_gap_ns_));
+    runtime::Env& env = cluster_.env(process_);
+    const auto gap =
+        static_cast<Duration>(env.rng().next_exponential(mean_gap_ns_));
     // Compute the delay once: on the wall-clock TCP host a second now()
     // read can land *after* `at`, which would make the delay negative.
     const Duration delay = std::max<Duration>(gap, 1);
-    if (env_.now() + delay >= stop_at_) return;
-    env_.set_timer(delay, [this] {
-      const MessageId id = abcast_.abroadcast(payload_);
+    if (env.now() + delay >= stop_at_) return;
+    env.set_timer(delay, [this, &env] {
+      const MessageId id =
+          cluster_.node(process_).abcast().abroadcast(payload_);
       {
         const std::scoped_lock lock(rec_mu_);
-        recorder_.on_broadcast(id, env_.now());
+        recorder_.on_broadcast(id, env.now());
       }
       schedule_next();
     });
   }
 
-  runtime::Env& env_;
-  core::AbcastService& abcast_;
+  Cluster& cluster_;
+  ProcessId process_;
   LatencyRecorder& recorder_;
   std::mutex& rec_mu_;
   double mean_gap_ns_;
@@ -76,6 +82,9 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
                                .without_delivery_log();
   for (const CrashEvent& c : config.crashes)
     options.with_crash(c.at, c.process);
+  if (!config.restarts.empty()) options.with_recovery(config.recovery);
+  for (const RestartEvent& r : config.restarts)
+    options.with_restart(r.at, r.process);
 
   Cluster cluster(options);
 
@@ -102,11 +111,30 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       recorder.on_delivery(id, p, at);
     });
     sources.push_back(std::make_unique<Source>(
-        cluster.env(p), node.abcast(), recorder, rec_mu, per_process_rate,
+        cluster, p, recorder, rec_mu, per_process_rate,
         config.payload_bytes, measure_to));
   }
   for (ProcessId p = 1; p <= config.n; ++p) {
     cluster.host().run_on(p, [&sources, p] { sources[p]->start(); });
+  }
+
+  // A restart kills the driver's wiring along with the old incarnation:
+  // the delivery subscription died with the stack and the Poisson
+  // source's timer chain died with the crash. Re-wire both before the
+  // process resumes — the catch-up redeliveries of the downtime gap
+  // must land in the recorder, and post-rejoin load must flow again.
+  if (!config.restarts.empty()) {
+    cluster.set_restart_listener(
+        [&recorder, &rec_mu, &cluster, &sources](ProcessId p) {
+          cluster.node(p).stack().abcast().subscribe(
+              [&recorder, &rec_mu, &cluster, p](const MessageId& id,
+                                                const Payload&) {
+                const TimePoint at = cluster.now();
+                const std::scoped_lock lock(rec_mu);
+                recorder.on_delivery(id, p, at);
+              });
+          sources[p]->start();
+        });
   }
 
   // Run generation + measurement + drain, bounded by host time (the
@@ -157,6 +185,12 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   res.writev_calls = stats.writev_calls;
   res.wakeups = stats.wakeups;
   res.frames_per_writev_avg = stats.frames_per_writev_avg;
+  res.log_appends = stats.log_appends;
+  res.log_bytes = stats.log_bytes;
+  res.fsyncs = stats.fsyncs;
+  res.snapshot_count = stats.snapshot_count;
+  res.catchup_ids_fetched = stats.catchup_ids_fetched;
+  res.replay_ms = stats.replay_ms;
   return res;
 }
 

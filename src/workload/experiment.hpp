@@ -20,6 +20,7 @@
 
 #include "abcast/stack_builder.hpp"
 #include "net/netmodel.hpp"
+#include "recovery/recovery.hpp"
 #include "runtime/host.hpp"
 #include "util/time.hpp"
 #include "util/types.hpp"
@@ -27,6 +28,16 @@
 namespace ibc::workload {
 
 struct CrashEvent {
+  ProcessId process = kInvalidProcess;
+  TimePoint at = 0;
+};
+
+/// Crash-recovery: `process` comes back at `at`, replays its durable
+/// store, catches the gap up from its peers, and resumes generating
+/// load (the driver restarts its Poisson source and re-subscribes its
+/// latency recorder — the old incarnation's subscriptions died with
+/// it). Implies recovery-enabled stacks (`ExperimentConfig::recovery`).
+struct RestartEvent {
   ProcessId process = kInvalidProcess;
   TimePoint at = 0;
 };
@@ -52,6 +63,11 @@ struct ExperimentConfig {
 
   std::uint64_t seed = 1;
   std::vector<CrashEvent> crashes;
+  std::vector<RestartEvent> restarts;
+  /// Durability knobs for restart-bearing experiments (segment size,
+  /// snapshot cadence, sync discipline). Only read when `restarts` is
+  /// non-empty.
+  recovery::Config recovery;
 };
 
 struct ExperimentResult {
@@ -96,6 +112,15 @@ struct ExperimentResult {
   std::uint64_t writev_calls = 0;
   std::uint64_t wakeups = 0;
   double frames_per_writev_avg = 0.0;
+
+  // Durability / recovery counters (zero unless recovery is enabled;
+  // see ClusterStats).
+  std::uint64_t log_appends = 0;
+  std::uint64_t log_bytes = 0;
+  std::uint64_t fsyncs = 0;
+  std::uint64_t snapshot_count = 0;
+  std::uint64_t catchup_ids_fetched = 0;
+  double replay_ms = 0.0;  // wall-clock spent replaying snapshot + log
 };
 
 /// Runs one experiment to completion and returns its measurements.

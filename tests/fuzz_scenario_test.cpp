@@ -119,6 +119,11 @@ TEST(FuzzOracle, ScenarioTextRoundTrips) {
       EXPECT_EQ(back->crashes[i].at, s.crashes[i].at);
       EXPECT_EQ(back->crashes[i].process, s.crashes[i].process);
     }
+    ASSERT_EQ(back->restarts.size(), s.restarts.size());
+    for (std::size_t i = 0; i < s.restarts.size(); ++i) {
+      EXPECT_EQ(back->restarts[i].at, s.restarts[i].at);
+      EXPECT_EQ(back->restarts[i].process, s.restarts[i].process);
+    }
     ASSERT_EQ(back->faults.events.size(), s.faults.events.size());
     for (std::size_t i = 0; i < s.faults.events.size(); ++i) {
       EXPECT_EQ(net::to_text(back->faults.events[i]),
@@ -127,6 +132,45 @@ TEST(FuzzOracle, ScenarioTextRoundTrips) {
   }
   EXPECT_FALSE(parse_scenario("not a scenario").has_value());
   EXPECT_FALSE(parse_scenario("scenario v1\nbogus 1\n").has_value());
+}
+
+/// Crash-recovery schedules: the generator emits `restart` events after
+/// crashes on indirect stacks, and the oracle holds the restarted
+/// process to the full bar — exactly-once redelivery across the restart
+/// (its log already contains the pre-crash prefix; replay must not
+/// re-emit it), the downtime gap filled by catch-up, and no blocked
+/// ordering head at quiescence. Replay determinism must survive the
+/// restart path too.
+TEST(FuzzRestart, RestartBearingSchedulesRecoverExactlyOnce) {
+  std::size_t with_restarts = 0;
+  for (std::uint64_t seed = 1; seed <= 120 && with_restarts < 12; ++seed) {
+    const Scenario scenario = generate_scenario(seed);
+    if (scenario.restarts.empty()) continue;
+    ++with_restarts;
+    SCOPED_TRACE(test::repro_hint(seed));
+    const RunResult result = run_scenario(scenario);
+    ASSERT_TRUE(result.ok()) << violations_text(result) << repro(scenario);
+    // Recovery actually engaged: the restarted incarnation journaled.
+    EXPECT_GT(result.stats.log_appends, 0u) << repro(scenario);
+  }
+  ASSERT_GE(with_restarts, 3u)
+      << "the generator almost never emits restarts — restart coverage "
+         "is vacuous";
+}
+
+TEST(FuzzRestart, ReplayDeterminismHoldsForRestartSeeds) {
+  std::size_t checked = 0;
+  for (std::uint64_t seed = 1; seed <= 120 && checked < 5; ++seed) {
+    const Scenario scenario = generate_scenario(seed);
+    if (scenario.restarts.empty()) continue;
+    ++checked;
+    SCOPED_TRACE(test::repro_hint(seed));
+    const RunResult a = run_scenario(scenario);
+    const RunResult b = run_scenario(scenario);
+    ASSERT_EQ(a.orders, b.orders)
+        << "restart path is non-deterministic" << repro(scenario);
+  }
+  ASSERT_GE(checked, 1u);
 }
 
 /// The fuzzer's reason to exist: prove the oracle catches a real

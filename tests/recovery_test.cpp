@@ -1,0 +1,245 @@
+// End-to-end crash-recovery tests: a process crashes under sustained
+// load, restarts against its durable store, replays snapshot + log,
+// catches the gap up from its peers, and rejoins — with its delivery log
+// a prefix-consistent, exactly-once continuation. Runs the same
+// scenarios on the simulator and on loopback TCP (the Neko property
+// extends to recovery), plus journal-level edge cases: torn final
+// record, empty log, snapshot + tail, double restart.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "recovery/recovery.hpp"
+#include "runtime/cluster.hpp"
+#include "store/storage.hpp"
+#include "store/wal.hpp"
+
+namespace ibc {
+namespace {
+
+abcast::StackConfig recovery_stack() {
+  abcast::StackConfig config;  // indirect CT + RB-flood over heartbeat FD
+  config.heartbeat.interval = milliseconds(20);
+  config.heartbeat.initial_timeout = milliseconds(200);
+  return config;
+}
+
+std::vector<MessageId> ids_of(const std::vector<Cluster::Delivery>& log) {
+  std::vector<MessageId> ids;
+  ids.reserve(log.size());
+  for (const Cluster::Delivery& d : log) ids.push_back(d.id);
+  return ids;
+}
+
+/// Broadcasts `rounds` rounds from every live process with small pauses,
+/// so load spans the crash and the restart.
+void drive_load(Cluster& cluster, int rounds, Duration pause) {
+  for (int i = 0; i < rounds; ++i) {
+    for (ProcessId p = 1; p <= cluster.n(); ++p) {
+      if (!cluster.host().crashed(p)) {
+        cluster.node(p).abroadcast("m-" + std::to_string(p) + "-" +
+                                   std::to_string(i));
+      }
+    }
+    cluster.run_for(pause);
+  }
+}
+
+/// The recovered process must end with exactly the same delivery
+/// sequence as an always-up peer: every pre-crash delivery exactly once,
+/// the downtime gap filled by catch-up, post-restart deliveries in
+/// order.
+void expect_full_recovery(Cluster& cluster, ProcessId restarted) {
+  EXPECT_TRUE(cluster.prefix_consistent());
+  const std::vector<MessageId> recovered = ids_of(cluster.log(restarted));
+  const std::vector<MessageId> reference = ids_of(cluster.log(1));
+  EXPECT_GT(reference.size(), 0u);
+  EXPECT_EQ(recovered, reference);
+  const std::set<MessageId> unique(recovered.begin(), recovered.end());
+  EXPECT_EQ(unique.size(), recovered.size()) << "duplicate delivery";
+}
+
+TEST(Recovery, SimRestartRejoinsExactlyOnce) {
+  Cluster cluster(ClusterOptions{}
+                      .with_n(3)
+                      .with_seed(11)
+                      .with_stack(recovery_stack())
+                      .with_recovery()
+                      .with_crash(milliseconds(120), 3)
+                      .with_restart(milliseconds(320), 3));
+  drive_load(cluster, /*rounds=*/60, milliseconds(10));
+  cluster.run_until_quiesced(milliseconds(400), seconds(30));
+
+  expect_full_recovery(cluster, 3);
+  const ClusterStats stats = cluster.stats();
+  EXPECT_GT(stats.log_appends, 0u);
+  EXPECT_GT(stats.log_bytes, 0u);
+  EXPECT_GT(stats.fsyncs, 0u);
+  EXPECT_GT(stats.catchup_ids_fetched, 0u) << "gap not fetched from peers";
+}
+
+TEST(Recovery, SimRestartWithSnapshotAndLogTail) {
+  recovery::Config rec;
+  rec.snapshot_every = 8;  // several snapshots during the run
+  Cluster cluster(ClusterOptions{}
+                      .with_n(3)
+                      .with_seed(12)
+                      .with_stack(recovery_stack())
+                      .with_recovery(rec)
+                      .with_crash(milliseconds(200), 2)
+                      .with_restart(milliseconds(400), 2));
+  drive_load(cluster, /*rounds=*/60, milliseconds(10));
+  cluster.run_until_quiesced(milliseconds(400), seconds(30));
+
+  expect_full_recovery(cluster, 2);
+  EXPECT_GT(cluster.stats().snapshot_count, 0u);
+}
+
+TEST(Recovery, SimRestartMidBatchExpandsExactlyOnce) {
+  // Batching on: a crash lands between batched deliveries, and the
+  // restart must not re-expand any batch (same sequence as a peer ⇒
+  // every constituent message exactly once).
+  Cluster cluster(ClusterOptions{}
+                      .with_n(3)
+                      .with_seed(13)
+                      .with_stack(recovery_stack())
+                      .batch_max_msgs(4)
+                      .batch_max_delay(milliseconds(5))
+                      .with_recovery()
+                      .with_crash(milliseconds(150), 3)
+                      .with_restart(milliseconds(350), 3));
+  drive_load(cluster, /*rounds=*/80, milliseconds(5));
+  cluster.run_until_quiesced(milliseconds(400), seconds(30));
+  expect_full_recovery(cluster, 3);
+}
+
+TEST(Recovery, SimRestartWithEmptyLogIsFirstBootPlusCatchup) {
+  // Crash before the victim journals anything: recovery finds an empty
+  // store and the whole history arrives via catch-up.
+  Cluster cluster(ClusterOptions{}
+                      .with_n(3)
+                      .with_seed(14)
+                      .with_stack(recovery_stack())
+                      .with_recovery()
+                      .with_crash(milliseconds(1), 3)
+                      .with_restart(milliseconds(300), 3));
+  drive_load(cluster, /*rounds=*/40, milliseconds(10));
+  cluster.run_until_quiesced(milliseconds(400), seconds(30));
+  expect_full_recovery(cluster, 3);
+}
+
+TEST(Recovery, SimDoubleRestart) {
+  Cluster cluster(ClusterOptions{}
+                      .with_n(3)
+                      .with_seed(15)
+                      .with_stack(recovery_stack())
+                      .with_recovery()
+                      .with_crash(milliseconds(120), 3)
+                      .with_restart(milliseconds(280), 3)
+                      .with_crash(milliseconds(450), 3)
+                      .with_restart(milliseconds(600), 3));
+  drive_load(cluster, /*rounds=*/80, milliseconds(10));
+  cluster.run_until_quiesced(milliseconds(400), seconds(30));
+  expect_full_recovery(cluster, 3);
+}
+
+TEST(Recovery, RestartOfLiveProcessIsNoOp) {
+  // Schedule minimizers drop crashes independently of restarts; a
+  // restart without a preceding crash must be harmless.
+  Cluster cluster(ClusterOptions{}
+                      .with_n(3)
+                      .with_seed(16)
+                      .with_stack(recovery_stack())
+                      .with_recovery()
+                      .with_restart(milliseconds(50), 2));
+  drive_load(cluster, /*rounds=*/20, milliseconds(10));
+  cluster.run_until_quiesced(milliseconds(300), seconds(30));
+  EXPECT_TRUE(cluster.prefix_consistent());
+  EXPECT_EQ(ids_of(cluster.log(2)), ids_of(cluster.log(1)));
+}
+
+TEST(Recovery, SimReplayIsDeterministic) {
+  const auto run_once = [] {
+    Cluster cluster(ClusterOptions{}
+                        .with_n(3)
+                        .with_seed(17)
+                        .with_stack(recovery_stack())
+                        .with_recovery()
+                        .with_crash(milliseconds(120), 3)
+                        .with_restart(milliseconds(300), 3));
+    drive_load(cluster, /*rounds=*/40, milliseconds(10));
+    cluster.run_until_quiesced(milliseconds(400), seconds(30));
+    std::vector<std::vector<MessageId>> logs;
+    for (ProcessId p = 1; p <= 3; ++p) logs.push_back(ids_of(cluster.log(p)));
+    return logs;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Recovery, TornFinalRecordReplaysToLastGoodRecordAndRotates) {
+  // Journal a little history through a RecoveryManager, tear the final
+  // log record, and recover: replay must stop cleanly at the last good
+  // record and the new incarnation must rotate before appending (bytes
+  // after a tear are unreachable garbage).
+  store::MemDir dir;
+  recovery::Config config;
+  const MessageId id1{1, 1};
+  const MessageId id2{2, 1};
+  {
+    recovery::RecoveryManager journal(dir, config);
+    journal.on_open_instance(1);
+    journal.on_decision_applied(1, {id1});
+    journal.on_deliver_batch(id1, {});
+    journal.commit_deliveries();
+    journal.on_open_instance(2);
+    journal.on_decision_applied(2, {id2});  // logged, never synced
+  }
+  // Tear: chop the un-synced tail mid-record (what a crash between
+  // append and fsync leaves on a weaker medium is modeled by truncating
+  // to the watermark, which this store keeps at record granularity — so
+  // instead plant a short garbage frame after the good prefix).
+  dir.drop_unsynced();
+  dir.append(store::SegmentLog::segment_name(1),
+             BytesView(Bytes{0x40, 0x00, 0x00, 0x00, 0xde, 0xad}));
+  dir.sync(store::SegmentLog::segment_name(1));
+
+  recovery::RecoveryManager recovered(dir, config);
+  const core::OrderingCore::Restored& core = recovered.recovered().core;
+  EXPECT_EQ(core.applied_k, 1u);
+  // kOpen is synced before a propose leaves, so instance 2's open
+  // survived the crash even though the decision record after it did not.
+  EXPECT_EQ(core.opened_k, 2u);
+  ASSERT_EQ(core.delivered.size(), 1u);
+  EXPECT_EQ(*core.delivered.begin(), id1);
+  EXPECT_TRUE(core.ordered.empty());
+
+  // Appends after the tear go to a fresh segment and replay cleanly.
+  recovered.on_open_instance(3);
+  recovery::RecoveryManager third(dir, config);
+  EXPECT_EQ(third.recovered().core.opened_k, 3u);
+}
+
+TEST(Recovery, TcpRestartRejoinsExactlyOnce) {
+  Cluster cluster(ClusterOptions{}
+                      .with_n(3)
+                      .with_seed(21)
+                      .on_tcp()
+                      .with_stack(recovery_stack())
+                      .with_recovery());
+  drive_load(cluster, /*rounds=*/20, milliseconds(2));
+  cluster.crash(3);
+  drive_load(cluster, /*rounds=*/20, milliseconds(2));
+  cluster.restart(3);
+  drive_load(cluster, /*rounds=*/20, milliseconds(2));
+  cluster.run_until_quiesced(milliseconds(500), seconds(30));
+
+  expect_full_recovery(cluster, 3);
+  const ClusterStats stats = cluster.stats();
+  EXPECT_GT(stats.log_appends, 0u);
+  EXPECT_GT(stats.catchup_ids_fetched, 0u);
+}
+
+}  // namespace
+}  // namespace ibc
