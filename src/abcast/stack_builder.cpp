@@ -108,6 +108,11 @@ ProcessStack::ProcessStack(runtime::Host& host, ProcessId p,
           recovery_->recovered();
       ind->mutable_ordering().restore(rec.core);
       ind->restore_seq(rec.reserved_seq);
+      // Each broadcast frame consumes at least one reserved abcast seq
+      // and reservations are synced before use, so reserved_seq bounds
+      // every prior incarnation's broadcast-seq usage: rebasing here
+      // keeps this incarnation's frames out of peers' dedup tables.
+      bcast_->set_seq_base(rec.reserved_seq);
       ind->set_journal(recovery_.get());
       recovery_->attach(&ind->ordering());
       catchup_ =

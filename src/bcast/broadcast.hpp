@@ -43,6 +43,17 @@ class BroadcastService {
   /// Broadcasts `payload` to the whole group, including the caller.
   virtual void broadcast(Bytes payload) = 0;
 
+  /// Restart support: every implementation dedups on a per-origin
+  /// broadcast sequence, and peers keep their dedup tables across this
+  /// process's crash — a new incarnation starting back at seq 0 would
+  /// see its first broadcasts silently swallowed as duplicates of the
+  /// dead incarnation's. The recovery path calls this with a durable
+  /// bound on how many broadcasts any previous incarnation issued (the
+  /// abcast layer's synced seq reservation — one broadcast frame
+  /// consumes at least one reserved seq), making the new incarnation's
+  /// keys fresh. No-op where recovery is unsupported.
+  virtual void set_seq_base(std::uint64_t base) { (void)base; }
+
   /// Registers a delivery handler (multiple allowed; called in
   /// registration order).
   void subscribe(DeliverFn fn) { subscribers_.push_back(std::move(fn)); }

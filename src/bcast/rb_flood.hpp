@@ -31,6 +31,11 @@ class RbFlood final : public runtime::Layer, public BroadcastService {
 
   void broadcast(Bytes payload) override;
 
+  /// See BroadcastService: makes a restarted incarnation's (origin, seq)
+  /// keys disjoint from the dead incarnation's, which peers still hold
+  /// in their dedup tables.
+  void set_seq_base(std::uint64_t base) override { next_seq_ = base; }
+
   void on_message(ProcessId from, Reader& r) override;
 
  private:

@@ -31,6 +31,10 @@ class UrbBroadcast final : public runtime::Layer, public BroadcastService {
 
   void broadcast(Bytes payload) override;
 
+  /// See BroadcastService: keeps a restarted incarnation's keys disjoint
+  /// from what peers already hold in their dedup tables.
+  void set_seq_base(std::uint64_t base) override { next_seq_ = base; }
+
   void on_message(ProcessId from, Reader& r) override;
 
   /// Majority threshold ⌈(n+1)/2⌉ used for delivery.

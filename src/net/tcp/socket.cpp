@@ -54,10 +54,43 @@ Fd connect_loopback(std::uint16_t port) {
   return fd;
 }
 
+Fd try_connect_loopback(std::uint16_t port) {
+  Fd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  IBC_REQUIRE(fd.valid());
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    return Fd{};
+  }
+  return fd;
+}
+
 Fd accept_one(const Fd& listener) {
   Fd fd(::accept(listener.get(), nullptr, nullptr));
   IBC_REQUIRE_MSG(fd.valid(), "accept failed");
   return fd;
+}
+
+bool read_exact(const Fd& fd, void* buf, std::size_t len, int timeout_ms) {
+  timeval tv{};
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  auto* out = static_cast<std::uint8_t*>(buf);
+  std::size_t got = 0;
+  while (got < len) {
+    const ssize_t r = ::recv(fd.get(), out + got, len - got, 0);
+    if (r > 0) {
+      got += static_cast<std::size_t>(r);
+      continue;
+    }
+    if (r < 0 && errno == EINTR) continue;
+    return false;  // EOF, timeout, or error
+  }
+  return true;
 }
 
 void make_nonblocking_nodelay(const Fd& fd) {

@@ -39,8 +39,20 @@ std::pair<Fd, std::uint16_t> listen_loopback();
 /// Blocking connect to 127.0.0.1:port.
 Fd connect_loopback(std::uint16_t port);
 
+/// Blocking connect to 127.0.0.1:port that reports failure instead of
+/// aborting: returns an invalid Fd when the dial fails (connection
+/// refused, etc.). Used by multi-process discovery retry loops, where a
+/// peer that has not bound yet — or is genuinely dead — is an expected
+/// outcome, not a bug.
+Fd try_connect_loopback(std::uint16_t port);
+
 /// Blocking accept.
 Fd accept_one(const Fd& listener);
+
+/// Reads exactly `len` bytes from a blocking socket, giving up after
+/// `timeout_ms` of inactivity (SO_RCVTIMEO). Returns false on EOF,
+/// error, or timeout — the caller drops the connection.
+bool read_exact(const Fd& fd, void* buf, std::size_t len, int timeout_ms);
 
 /// Switches a socket to non-blocking mode and disables Nagle.
 void make_nonblocking_nodelay(const Fd& fd);

@@ -1,0 +1,236 @@
+#include "net/tcp/tcp_process.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
+#include "util/assert.hpp"
+
+namespace ibc::net::tcp {
+
+namespace {
+
+TimePoint steady_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+constexpr auto kPollInterval = std::chrono::milliseconds(5);
+
+}  // namespace
+
+TcpProcess::TcpProcess(ProcessId self, std::uint32_t n, std::uint64_t seed)
+    : self_(self), n_(n), epoch_ns_(steady_ns()) {
+  IBC_REQUIRE(n >= 1 && self >= 1 && self <= n);
+  const Rng root(seed);
+  env_ = std::make_unique<TcpEnv>(self, n, root.fork("tcp-process", self),
+                                  epoch_ns_);
+  env_->messages_ctr_ = &messages_sent_;
+  env_->wire_bytes_ctr_ = &wire_bytes_sent_;
+  env_->frames_ctr_ = &frames_sent_;
+  env_->writev_ctr_ = &writev_calls_;
+  env_->wakeups_ctr_ = &wakeups_;
+}
+
+TcpProcess::~TcpProcess() { shutdown(); }
+
+runtime::Env& TcpProcess::env(ProcessId p) {
+  IBC_REQUIRE_MSG(p == self_, "TcpProcess only hosts its own rank");
+  return *env_;
+}
+
+TimePoint TcpProcess::now() const { return steady_ns() - epoch_ns_; }
+
+std::uint16_t TcpProcess::bind_listener() {
+  auto [listener, port] = listen_loopback();
+  env_->adopt_listener(std::move(listener));
+  return port;
+}
+
+void TcpProcess::connect_peer(ProcessId peer, Fd fd) {
+  env_->install_peer(peer, std::move(fd));
+}
+
+void TcpProcess::start() {
+  const std::scoped_lock lock(state_mu_);
+  IBC_REQUIRE_MSG(!started_ && !shut_down_, "start() is one-shot");
+  started_ = true;
+  env_->start_thread();
+}
+
+void TcpProcess::shutdown() {
+  {
+    const std::scoped_lock lock(state_mu_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  env_->request_stop();
+}
+
+std::size_t TcpProcess::run_for(Duration d) {
+  if (d > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(d));
+  return 0;
+}
+
+void TcpProcess::run_on(ProcessId p, std::function<void()> fn) {
+  IBC_REQUIRE_MSG(p == self_, "TcpProcess only hosts its own rank");
+  if (env_->reactor_tid_.load() == std::this_thread::get_id()) {
+    fn();  // already on the reactor: deferring would deadlock
+    return;
+  }
+  {
+    const std::scoped_lock lock(state_mu_);
+    if (shut_down_ || !started_) {
+      // No reactor running: inline execution is race-free.
+      fn();
+      return;
+    }
+  }
+  struct DoneGate {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    bool abandoned = false;
+  };
+  auto gate = std::make_shared<DoneGate>();
+  env_->defer([fn = std::move(fn), gate] {
+    std::unique_lock lock(gate->mu);
+    if (gate->abandoned) return;
+    fn();
+    gate->done = true;
+    lock.unlock();
+    gate->cv.notify_one();
+  });
+  std::unique_lock lock(gate->mu);
+  while (!gate->done) {
+    gate->cv.wait_for(lock, std::chrono::milliseconds(20));
+    if (gate->done) break;
+    const std::scoped_lock state_lock(state_mu_);
+    if (shut_down_) {
+      gate->abandoned = true;
+      return;
+    }
+  }
+}
+
+void TcpProcess::crash(ProcessId) {
+  IBC_REQUIRE_MSG(false, "TcpProcess cannot crash ranks: kill the OS process");
+}
+
+void TcpProcess::crash_at(TimePoint, ProcessId) {
+  IBC_REQUIRE_MSG(false, "TcpProcess cannot crash ranks: kill the OS process");
+}
+
+void TcpProcess::restart(ProcessId) {
+  IBC_REQUIRE_MSG(false,
+                  "TcpProcess cannot restart ranks: relaunch the OS process");
+}
+
+void TcpProcess::resume(ProcessId) {
+  IBC_REQUIRE_MSG(false,
+                  "TcpProcess cannot restart ranks: relaunch the OS process");
+}
+
+void TcpProcess::run_at(TimePoint, std::function<void()>) {
+  IBC_REQUIRE_MSG(false, "TcpProcess has no cross-rank scheduler");
+}
+
+bool TcpProcess::crashed(ProcessId p) const {
+  IBC_REQUIRE_MSG(p == self_,
+                  "TcpProcess cannot observe remote liveness; ask the FD");
+  return false;
+}
+
+runtime::HostCounters TcpProcess::counters() const {
+  return runtime::HostCounters{
+      messages_sent_.load(std::memory_order_relaxed),
+      wire_bytes_sent_.load(std::memory_order_relaxed),
+      frames_sent_.load(std::memory_order_relaxed),
+      writev_calls_.load(std::memory_order_relaxed),
+      wakeups_.load(std::memory_order_relaxed)};
+}
+
+// ---- File-based multi-process coordination -------------------------------
+
+void publish_file(const std::string& dir, const std::string& name,
+                  const std::string& contents) {
+  namespace fs = std::filesystem;
+  const fs::path target = fs::path(dir) / name;
+  const fs::path tmp = fs::path(dir) / (".tmp." + name);
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    IBC_REQUIRE_MSG(out.good(), "cannot write into the scratch directory");
+    out << contents;
+  }
+  // rename(2) is atomic within a filesystem: readers see the old state
+  // or the complete new file, never a torn write.
+  IBC_REQUIRE(std::rename(tmp.c_str(), target.c_str()) == 0);
+}
+
+bool file_exists(const std::string& dir, const std::string& name) {
+  return std::filesystem::exists(std::filesystem::path(dir) / name);
+}
+
+void publish_port(const std::string& dir, ProcessId rank,
+                  std::uint16_t port) {
+  publish_file(dir, "port." + std::to_string(rank), std::to_string(port));
+}
+
+std::vector<std::uint16_t> wait_for_ports(const std::string& dir,
+                                          std::uint32_t n,
+                                          Duration timeout) {
+  namespace fs = std::filesystem;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+  std::vector<std::uint16_t> ports(n + 1, 0);
+  while (true) {
+    bool all = true;
+    for (ProcessId rank = 1; rank <= n; ++rank) {
+      if (ports[rank] != 0) continue;
+      const fs::path file = fs::path(dir) / ("port." + std::to_string(rank));
+      std::ifstream in(file);
+      unsigned value = 0;
+      if (in.good() && (in >> value) && value > 0 && value <= 0xffff) {
+        ports[rank] = static_cast<std::uint16_t>(value);
+      } else {
+        all = false;
+      }
+    }
+    if (all) return ports;
+    if (std::chrono::steady_clock::now() >= deadline) return {};
+    std::this_thread::sleep_for(kPollInterval);
+  }
+}
+
+void barrier_enter(const std::string& dir, const std::string& name,
+                   ProcessId rank) {
+  publish_file(dir, name + "." + std::to_string(rank), "1");
+}
+
+bool barrier_await(const std::string& dir, const std::string& name,
+                   std::uint32_t n, Duration timeout) {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+  while (true) {
+    bool all = true;
+    for (ProcessId rank = 1; rank <= n; ++rank) {
+      if (!file_exists(dir, name + "." + std::to_string(rank))) {
+        all = false;
+        break;
+      }
+    }
+    if (all) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(kPollInterval);
+  }
+}
+
+}  // namespace ibc::net::tcp

@@ -1,0 +1,157 @@
+// Single-rank TCP host for true multi-process deployment.
+//
+// `TcpCluster` hosts all n ranks inside one OS process — useful, but the
+// allocator, the clock, and the crash model are shared, so kill -9 has
+// never been real. `TcpProcess` hosts exactly ONE rank: the `ibcd`
+// daemon (tools/ibcd.cpp) builds a `ProcessStack` on it, n daemons form
+// a mesh of genuine inter-process TCP connections, and a SIGKILL is a
+// genuine crash-stop fault (DSN'06 §2) — volatile state dies with the
+// process, only the on-disk store survives.
+//
+// Wiring protocol (shared with the multiprocess test fixture):
+//   1. bind_listener() binds 127.0.0.1 port 0 (never a hard-coded port;
+//      `ctest -j` can run many clusters concurrently) and returns the
+//      kernel-assigned port.
+//   2. The rank publishes `port.<rank>` into a shared scratch directory
+//      (publish_port: write a temp file, then rename — readers never see
+//      a partial write) and polls until all n ports are present
+//      (wait_for_ports).
+//   3. First boot: rank p dials every q < p, sending a 4-byte hello
+//      (p's rank) — each pair gets exactly one connection; the higher
+//      rank's reactor accepts and identifies the dialer by the hello.
+//      A *restarted* rank instead dials ALL live peers (its old
+//      connections died with the old incarnation); each peer's reactor
+//      accepts and replaces the dead slot.
+//
+// The barrier files (barrier_enter/barrier_await) use the same
+// temp+rename publish, so a barrier entry is atomic and survives the
+// entrant's crash — exactly what a relaunch-after-SIGKILL needs: the
+// "ready" barrier it re-enters is already satisfied.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/tcp/tcp_transport.hpp"
+#include "runtime/host.hpp"
+
+namespace ibc::net::tcp {
+
+class TcpProcess final : public runtime::Host {
+ public:
+  /// One rank of an n-process group. The seed feeds this rank's RNG
+  /// stream exactly like TcpCluster's per-process fork, so the same
+  /// (seed, rank) pair draws the same stream on either host.
+  TcpProcess(ProcessId self, std::uint32_t n, std::uint64_t seed = 1);
+  ~TcpProcess() override;
+
+  TcpProcess(const TcpProcess&) = delete;
+  TcpProcess& operator=(const TcpProcess&) = delete;
+
+  runtime::HostKind kind() const override { return runtime::HostKind::kTcp; }
+  std::uint32_t n() const override { return n_; }
+  ProcessId self() const { return self_; }
+
+  /// Only this rank's env exists here; any other id is a wiring bug.
+  runtime::Env& env(ProcessId p) override;
+
+  /// Nanoseconds since this process constructed the host. Clocks are NOT
+  /// shared across ranks — each OS process has its own epoch, exactly
+  /// like a real deployment.
+  TimePoint now() const override;
+
+  /// Binds the rank's listening socket on 127.0.0.1 port 0 and hands it
+  /// to the reactor; returns the kernel-assigned port. Call before
+  /// start().
+  std::uint16_t bind_listener();
+
+  /// Installs an established connection to `peer` (the hello already
+  /// exchanged by the caller). Call before start(); connections arriving
+  /// after start() come in through the adopted listener instead.
+  void connect_peer(ProcessId peer, Fd fd);
+
+  /// Launches the reactor thread. Build the stack (which installs the
+  /// Env receive handler) before this.
+  void start() override;
+
+  /// Stops and joins the reactor. Idempotent.
+  void shutdown() override;
+
+  /// Waits `d` of wall-clock time while the reactor makes progress.
+  std::size_t run_for(Duration d) override;
+
+  /// Runs `fn` on the reactor thread and blocks until it completed
+  /// (inline after shutdown, when that is race-free).
+  void run_on(ProcessId p, std::function<void()> fn) override;
+
+  // Crash orchestration needs a vantage point above the process — on
+  // this host the process IS the unit that crashes (the test fixture
+  // SIGKILLs the whole daemon), so these are wiring bugs here.
+  void crash(ProcessId p) override;
+  void crash_at(TimePoint t, ProcessId p) override;
+  void restart(ProcessId p) override;
+  void resume(ProcessId p) override;
+  void run_at(TimePoint t, std::function<void()> fn) override;
+
+  /// This host cannot observe remote liveness (that is the failure
+  /// detector's job); it only vouches for itself.
+  bool crashed(ProcessId p) const override;
+  std::uint32_t alive_count() const override { return n_; }
+
+  runtime::HostCounters counters() const override;
+
+ private:
+  const ProcessId self_;
+  const std::uint32_t n_;
+  TimePoint epoch_ns_ = 0;
+  std::unique_ptr<TcpEnv> env_;
+
+  mutable std::mutex state_mu_;
+  bool started_ = false;
+  bool shut_down_ = false;
+
+  std::atomic<std::uint64_t> messages_sent_{0};
+  std::atomic<std::uint64_t> wire_bytes_sent_{0};
+  std::atomic<std::uint64_t> frames_sent_{0};
+  std::atomic<std::uint64_t> writev_calls_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
+};
+
+// ---- File-based multi-process coordination -------------------------------
+//
+// All helpers operate on plain files in a shared scratch directory. The
+// publish primitive is write-temp-then-rename, so readers only ever see
+// complete files. Polling helpers sleep a few milliseconds between
+// checks; timeouts make a hung peer a test failure, not a hang.
+
+/// Atomically publishes `name` with `contents` into `dir`.
+void publish_file(const std::string& dir, const std::string& name,
+                  const std::string& contents);
+
+/// True iff `dir/name` exists.
+bool file_exists(const std::string& dir, const std::string& name);
+
+/// Publishes this rank's TCP port as `port.<rank>`.
+void publish_port(const std::string& dir, ProcessId rank,
+                  std::uint16_t port);
+
+/// Polls until `port.1` .. `port.n` are all present, then returns the
+/// ports indexed by rank ([0] unused). Empty on timeout.
+std::vector<std::uint16_t> wait_for_ports(const std::string& dir,
+                                          std::uint32_t n,
+                                          Duration timeout);
+
+/// Enters barrier `name` as `rank` by publishing `<name>.<rank>`.
+/// Idempotent — a relaunched process re-enters a barrier it already
+/// passed without disturbing it.
+void barrier_enter(const std::string& dir, const std::string& name,
+                   ProcessId rank);
+
+/// Waits until all of `<name>.1` .. `<name>.n` exist. False on timeout.
+bool barrier_await(const std::string& dir, const std::string& name,
+                   std::uint32_t n, Duration timeout);
+
+}  // namespace ibc::net::tcp

@@ -26,6 +26,11 @@ TimePoint steady_ns() {
 /// any platform IOV_MAX (POSIX guarantees >= 16; Linux has 1024).
 constexpr std::size_t kMaxIov = 64;
 
+/// How long the reactor waits for an accepted connection's hello rank
+/// before dropping it. Dialers write the hello immediately after
+/// connect, so on loopback this is only hit by stray connections.
+constexpr int kHelloTimeoutMs = 2000;
+
 }  // namespace
 
 TcpEnv::TcpEnv(ProcessId self, std::uint32_t n, Rng rng, TimePoint epoch_ns)
@@ -175,6 +180,7 @@ void TcpEnv::request_stop() {
     peer.outq.clear();
     peer.out_offset = 0;
   }
+  listener_.reset();
 }
 
 void TcpEnv::reset_for_restart() {
@@ -195,6 +201,48 @@ void TcpEnv::reset_for_restart() {
   // Stale wakeup bytes would make the first poll spin.
   std::uint8_t sink[256];
   while (::read(wake_r_.get(), sink, sizeof sink) > 0) {
+  }
+}
+
+void TcpEnv::install_peer(ProcessId peer_id, Fd fd) {
+  IBC_REQUIRE(peer_id >= 1 && peer_id <= n_ && peer_id != self_);
+  IBC_REQUIRE_MSG(reactor_tid_.load() == std::thread::id{},
+                  "install_peer with the reactor running");
+  IBC_REQUIRE(fd.valid());
+  make_nonblocking_nodelay(fd);
+  Peer& peer = peers_[peer_id];
+  peer = Peer{};
+  peer.fd = std::move(fd);
+  peer.open = true;
+}
+
+void TcpEnv::adopt_listener(Fd listener) {
+  IBC_REQUIRE_MSG(reactor_tid_.load() == std::thread::id{},
+                  "adopt_listener with the reactor running");
+  IBC_REQUIRE(listener.valid());
+  make_nonblocking_nodelay(listener);
+  listener_ = std::move(listener);
+}
+
+void TcpEnv::handle_accept() {
+  while (true) {
+    Fd conn(::accept(listener_.get(), nullptr, nullptr));
+    if (!conn.valid()) return;  // EAGAIN: backlog drained
+    // The accepted socket is blocking (O_NONBLOCK does not inherit), so
+    // the hello read blocks — bounded by kHelloTimeoutMs. A dialer
+    // writes its rank immediately after connect, so a timeout means a
+    // stray connection; it is dropped without touching the mesh.
+    std::uint32_t hello = 0;
+    if (!read_exact(conn, &hello, sizeof hello, kHelloTimeoutMs)) continue;
+    if (hello < 1 || hello > n_ || hello == self_) continue;
+    make_nonblocking_nodelay(conn);
+    // Replacing the slot is safe: a peer only dials while its previous
+    // incarnation's connection is dead (initial wiring, or a restarted
+    // process re-joining the mesh after a real crash).
+    Peer& peer = peers_[hello];
+    peer = Peer{};
+    peer.fd = std::move(conn);
+    peer.open = true;
   }
 }
 
@@ -390,9 +438,15 @@ void TcpEnv::reactor_loop(const std::stop_token& st) {
 
     const int timeout_ms = poll_timeout_ms();
     std::vector<pollfd> pfds;
-    std::vector<ProcessId> owners;
+    std::vector<ProcessId> owners;  // 0 = not a peer (wake pipe, listener)
     pfds.push_back(pollfd{wake_r_.get(), POLLIN, 0});
     owners.push_back(0);
+    std::size_t listener_idx = 0;
+    if (listener_.valid()) {
+      listener_idx = pfds.size();
+      pfds.push_back(pollfd{listener_.get(), POLLIN, 0});
+      owners.push_back(0);
+    }
     for (ProcessId q = 1; q <= n_; ++q) {
       Peer& peer = peers_[q];
       if (!peer.open) continue;
@@ -409,7 +463,10 @@ void TcpEnv::reactor_loop(const std::stop_token& st) {
       while (::read(wake_r_.get(), sink, sizeof sink) > 0) {
       }
     }
+    if (listener_idx != 0 && (pfds[listener_idx].revents & POLLIN) != 0)
+      handle_accept();
     for (std::size_t i = 1; i < pfds.size(); ++i) {
+      if (owners[i] == 0) continue;
       if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
         handle_readable(owners[i]);
       if ((pfds[i].revents & POLLOUT) != 0) flush_peer(owners[i]);

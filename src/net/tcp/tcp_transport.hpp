@@ -78,8 +78,21 @@ class TcpEnv final : public runtime::Env {
   Rng& rng() override { return rng_; }
   const Logger& log() const override { return log_; }
 
+  /// Pre-start wiring seam for the multi-process host (`TcpProcess`):
+  /// installs an established, already-hello-identified connection as the
+  /// link to `peer`. Legal only while the reactor thread is not running.
+  void install_peer(ProcessId peer, Fd fd);
+
+  /// Hands the reactor a listening socket (multi-process mesh): incoming
+  /// connections are accepted on the reactor thread, identified by a
+  /// 4-byte hello (the dialer's rank), and installed as that rank's
+  /// link — replacing a dead slot when a restarted peer dials back in.
+  /// Call before the reactor starts; the listener is owned from then on.
+  void adopt_listener(Fd listener);
+
  private:
   friend class TcpCluster;
+  friend class TcpProcess;
 
   /// One queued outbound frame: the 4-byte length header (the only
   /// per-destination bytes) plus a shared reference to the payload.
@@ -135,6 +148,9 @@ class TcpEnv final : public runtime::Env {
   void flush_peer(ProcessId dst);
   void flush_all_peers();
   void handle_readable(ProcessId peer);
+  /// Drains the adopted listener: accepts pending connections, reads
+  /// each dialer's hello rank, installs the link (reactor thread only).
+  void handle_accept();
 
   const ProcessId self_;
   const std::uint32_t n_;
@@ -145,6 +161,7 @@ class TcpEnv final : public runtime::Env {
 
   std::vector<Peer> peers_;  // [1..n]; peers_[self_] unused
   Fd wake_r_, wake_w_;
+  Fd listener_;  // multi-process accept socket (invalid on TcpCluster)
 
   /// Deferred work owned by the reactor thread (fast-path defer and
   /// loopback sends land here without locking).

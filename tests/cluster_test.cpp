@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "harness.hpp"
 #include "runtime/cluster.hpp"
 
 namespace ibc {
@@ -35,6 +36,7 @@ void drive_scenario(Cluster& cluster, int rounds) {
 }
 
 TEST(Cluster, OneCallWiringDeliversInTotalOrder) {
+  SCOPED_TRACE(test::repro_hint(7));
   Cluster cluster(ClusterOptions{}.with_n(3).with_seed(7));
   const MessageId a = cluster.node(1).abroadcast("alpha");
   const MessageId b = cluster.node(2).abroadcast("bravo");
@@ -57,6 +59,7 @@ TEST(Cluster, OneCallWiringDeliversInTotalOrder) {
 }
 
 TEST(Cluster, SameConfigAndSeedReplaysBitIdenticalLogs) {
+  SCOPED_TRACE(test::repro_hint(1234));
   const auto run_once = [] {
     Cluster cluster(ClusterOptions{}
                         .with_n(3)
@@ -87,6 +90,7 @@ TEST(Cluster, SameConfigAndSeedReplaysBitIdenticalLogs) {
 }
 
 TEST(Cluster, CrashScheduleFromOptionsFires) {
+  SCOPED_TRACE(test::repro_hint(21));
   Cluster cluster(ClusterOptions{}
                       .with_n(3)
                       .with_seed(21)
@@ -181,6 +185,7 @@ TEST(Subscription, HandleOutlivingServiceIsHarmless) {
 }
 
 TEST(Cluster, ReentrantBroadcastFromDeliveryCallbackWorksOnBothHosts) {
+  SCOPED_TRACE(test::repro_hint(13));
   // A request/response pattern: replying from inside on_deliver must not
   // deadlock the TCP reactor (run_on detects its own thread) and must
   // behave identically on the simulator.
@@ -231,6 +236,7 @@ std::vector<MessageId> drive_paced_sender(Cluster& cluster, int count,
 }
 
 TEST(Pipelined, SameSeedSameTotalOrderForEveryWindow) {
+  SCOPED_TRACE(test::repro_hint(99));
   // The window changes how ids are grouped into instances, not the
   // delivered sequence: decisions still apply in instance order, and with
   // a deterministic (zero-jitter) network the same seed must yield the
@@ -265,6 +271,7 @@ TEST(Pipelined, SameSeedSameTotalOrderForEveryWindow) {
 }
 
 TEST(Pipelined, CrashMidWindowKeepsTotalOrderAndDelivers) {
+  SCOPED_TRACE(test::repro_hint(23));
   // Fill a 4-deep window, then kill p2 — the round-1 coordinator of
   // every CT instance — while those instances are in flight. The
   // survivors must suspect it, finish every open instance, and keep the
@@ -309,6 +316,7 @@ TEST(Pipelined, CrashMidWindowKeepsTotalOrderAndDelivers) {
 }
 
 TEST(Cluster, CrossHostSameScenarioSatisfiesTotalOrder) {
+  SCOPED_TRACE(test::repro_hint(42));
   constexpr int kRounds = 5;
   constexpr std::uint32_t kN = 3;
   const std::size_t expected = kN * kRounds;

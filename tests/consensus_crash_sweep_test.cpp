@@ -12,6 +12,7 @@
 #include "consensus/ct.hpp"
 #include "consensus/mr.hpp"
 #include "fd/heartbeat_fd.hpp"
+#include "harness.hpp"
 #include "runtime/sim_cluster.hpp"
 
 namespace ibc::consensus {
@@ -36,6 +37,7 @@ class CrashSweep : public ::testing::TestWithParam<Param> {};
 
 TEST_P(CrashSweep, SafetyAlwaysLivenessWithinBound) {
   const Param param = GetParam();
+  SCOPED_TRACE(test::repro_hint(param.seed));
   runtime::SimCluster cluster(param.n, net::NetModel::setup1(),
                               param.seed);
   Rng rng = Rng(param.seed).fork("schedule");

@@ -1,0 +1,180 @@
+#include "multiprocess/fixture.hpp"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/prctl.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "net/tcp/tcp_process.hpp"
+
+#ifndef IBC_IBCD_PATH
+#error "IBC_IBCD_PATH must point at the ibcd binary (set by CMake)"
+#endif
+
+namespace ibc::test {
+
+namespace fs = std::filesystem;
+
+void MultiprocessTest::SetUp() {
+  const char* root_env = std::getenv("IBC_MP_SCRATCH_ROOT");
+  const std::string root = root_env != nullptr ? root_env : "/tmp";
+  fs::create_directories(root);
+  std::string tmpl = root + "/ibc-mp.XXXXXX";
+  ASSERT_NE(::mkdtemp(tmpl.data()), nullptr)
+      << "cannot create scratch under " << root;
+  scratch_ = tmpl;
+}
+
+void MultiprocessTest::TearDown() {
+  // Reap every straggler: a test that returned early (or failed) must
+  // not leak daemons into the next test's port space.
+  for (auto& [rank, pid] : children_) {
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+  }
+  children_.clear();
+  if (HasFailure()) {
+    // Keep the evidence; CI uploads the scratch root as an artifact.
+    std::fprintf(stderr, "[multiprocess] kept scratch dir: %s\n",
+                 scratch_.c_str());
+    return;
+  }
+  std::error_code ec;
+  fs::remove_all(scratch_, ec);
+}
+
+void MultiprocessTest::spawn_rank(ProcessId rank, const IbcdOptions& opts) {
+  ASSERT_FALSE(children_.contains(rank))
+      << "rank " << rank << " already has a live child";
+  const int incarnation = incarnations_[rank]++;
+  const std::string log_path = scratch_ + "/log." + std::to_string(rank) +
+                               "." + std::to_string(incarnation);
+
+  std::vector<std::string> args = {
+      IBC_IBCD_PATH,
+      "--rank", std::to_string(rank),
+      "--n", std::to_string(opts.n),
+      "--dir", scratch_,
+      "--store", scratch_ + "/store." + std::to_string(rank),
+      "--seed", std::to_string(opts.seed),
+      "--send", std::to_string(opts.send),
+      "--interval-ms", std::to_string(opts.interval_ms),
+      "--payload-bytes", std::to_string(opts.payload_bytes),
+      "--quiesce-ms", std::to_string(opts.quiesce_ms),
+      "--timeout-s", std::to_string(opts.timeout_s),
+  };
+  if (!opts.tag.empty()) {
+    args.push_back("--tag");
+    args.push_back(opts.tag);
+  }
+
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    // Child. Die with the test runner: a crashed or ctest-killed parent
+    // must never orphan a daemon that keeps ports and files busy.
+    ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+    const int log_fd =
+        ::open(log_path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+    if (log_fd >= 0) {
+      ::dup2(log_fd, STDOUT_FILENO);
+      ::dup2(log_fd, STDERR_FILENO);
+      ::close(log_fd);
+    }
+    std::vector<char*> argv;
+    argv.reserve(args.size() + 1);
+    for (const std::string& arg : args)
+      argv.push_back(const_cast<char*>(arg.c_str()));
+    argv.push_back(nullptr);
+    ::execv(IBC_IBCD_PATH, argv.data());
+    ::_exit(127);  // exec failed; the parent sees a 127 exit
+  }
+  children_[rank] = pid;
+}
+
+void MultiprocessTest::sigkill_rank(ProcessId rank) {
+  const auto it = children_.find(rank);
+  ASSERT_NE(it, children_.end()) << "rank " << rank << " has no child";
+  const pid_t pid = it->second;
+  children_.erase(it);
+  ASSERT_EQ(::kill(pid, SIGKILL), 0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+  EXPECT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL)
+      << "rank " << rank << " did not die by SIGKILL (status " << status
+      << ")";
+}
+
+void MultiprocessTest::expect_child_exit(ProcessId rank, int code,
+                                         Duration timeout) {
+  const auto it = children_.find(rank);
+  ASSERT_NE(it, children_.end()) << "rank " << rank << " has no child";
+  const pid_t pid = it->second;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+  while (true) {
+    int status = 0;
+    const pid_t got = ::waitpid(pid, &status, WNOHANG);
+    if (got == pid) {
+      children_.erase(it);
+      EXPECT_TRUE(WIFEXITED(status))
+          << "rank " << rank << " did not exit normally (status " << status
+          << ")";
+      if (WIFEXITED(status)) {
+        EXPECT_EQ(WEXITSTATUS(status), code)
+            << "rank " << rank << " exit code (see "
+            << scratch_ + "/log." + std::to_string(rank) + ".*)";
+      }
+      return;
+    }
+    ASSERT_GE(got, 0) << "waitpid failed for rank " << rank;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      ::kill(pid, SIGKILL);
+      ::waitpid(pid, &status, 0);
+      children_.erase(it);
+      FAIL() << "rank " << rank << " did not exit within the deadline";
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+}
+
+void MultiprocessTest::stop_all() {
+  net::tcp::publish_file(scratch_, "stop", "1");
+}
+
+bool MultiprocessTest::barrier(const std::string& name, std::uint32_t count,
+                               Duration timeout) {
+  return net::tcp::barrier_await(scratch_, name, count, timeout);
+}
+
+std::vector<std::string> MultiprocessTest::deliveries(
+    ProcessId rank, int incarnation) const {
+  const std::string path = scratch_ + "/deliveries." + std::to_string(rank) +
+                           "." + std::to_string(incarnation);
+  std::ifstream in(path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+bool MultiprocessTest::wait_until(const std::function<bool()>& pred,
+                                  Duration timeout) const {
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return true;
+}
+
+}  // namespace ibc::test

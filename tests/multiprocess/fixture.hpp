@@ -1,0 +1,102 @@
+// Tier-2 multiprocess fixture: one forked ibcd daemon per rank.
+//
+// Everything tier 1 runs lives inside one OS process — even the TCP host
+// shares one allocator and one clock, and "crash" means joining a
+// reactor thread. This fixture is the real thing: each rank is a forked
+// ibcd child (tools/ibcd.cpp), the mesh is genuine inter-process TCP,
+// and sigkill_rank() delivers an actual SIGKILL — the paper's crash-stop
+// fault (DSN'06 §2) with no cooperation from the victim.
+//
+// Coordination is file-based, through a per-test scratch directory
+// (under $IBC_MP_SCRATCH_ROOT, which ctest points into the build tree so
+// CI can upload the logs of a failed run):
+//
+//   port.<rank>        discovery: each rank's kernel-assigned TCP port
+//   ready.<rank>       boot barrier entries (barrier("ready", n))
+//   deliveries.<r>.<i> rank r's delivery log for incarnation i
+//   log.<rank>.<i>     rank r's captured stdout+stderr for incarnation i
+//   stop               created by stop_all(): quiesce and exit 0
+//
+// Barrier semantics: a rank enters barrier `name` by atomically
+// publishing `<name>.<rank>` (temp file + rename); barrier(name, k)
+// blocks until ranks 1..k have all entered. Entries persist across a
+// participant's crash, so a relaunched rank re-passes old barriers
+// instantly instead of deadlocking the group.
+//
+// Children are reaped in TearDown no matter what, and carry
+// PR_SET_PDEATHSIG so a crashing test runner cannot leak daemons. On
+// failure the scratch directory is kept and its path printed; on success
+// it is removed.
+#pragma once
+
+#include <gtest/gtest.h>
+#include <sys/types.h>
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+#include "util/types.hpp"
+
+namespace ibc::test {
+
+/// Flags handed to a spawned ibcd rank (see tools/ibcd.cpp).
+struct IbcdOptions {
+  std::uint32_t n = 3;
+  int send = 0;            // messages this incarnation abroadcasts
+  int interval_ms = 2;     // gap between sends
+  int payload_bytes = 16;
+  int quiesce_ms = 400;    // stability window before a clean exit
+  int timeout_s = 120;     // the daemon's own give-up deadline
+  std::uint64_t seed = 1;
+  std::string tag;         // embedded in payloads ("r3.<tag>.m7"); lets a
+                           // test tell one incarnation's sends from another's
+};
+
+class MultiprocessTest : public ::testing::Test {
+ protected:
+  void SetUp() override;
+  void TearDown() override;
+
+  const std::string& scratch() const { return scratch_; }
+
+  /// Forks and execs one ibcd rank against this test's scratch dir,
+  /// redirecting its stdout+stderr to `log.<rank>.<incarnation>`. The
+  /// rank's store directory is stable across incarnations — relaunching
+  /// a SIGKILLed rank with the same call is the crash-recovery path.
+  void spawn_rank(ProcessId rank, const IbcdOptions& opts);
+
+  /// Delivers a real SIGKILL to rank's child and reaps it, asserting it
+  /// died by exactly that signal.
+  void sigkill_rank(ProcessId rank);
+
+  /// Reaps rank's child, asserting a normal exit with `code` within
+  /// `timeout` (on timeout the child is killed and the test fails).
+  void expect_child_exit(ProcessId rank, int code = 0,
+                         Duration timeout = seconds(90));
+
+  /// Signals every rank to quiesce and exit cleanly.
+  void stop_all();
+
+  /// Waits until ranks 1..count have entered barrier `name`.
+  bool barrier(const std::string& name, std::uint32_t count,
+               Duration timeout = seconds(30));
+
+  /// Lines of `deliveries.<rank>.<incarnation>` (empty if absent yet).
+  std::vector<std::string> deliveries(ProcessId rank,
+                                      int incarnation = 0) const;
+
+  /// Polls `pred` every few milliseconds until it holds; false on
+  /// timeout.
+  bool wait_until(const std::function<bool()>& pred, Duration timeout) const;
+
+ private:
+  std::string scratch_;
+  std::map<ProcessId, pid_t> children_;
+  std::map<ProcessId, int> incarnations_;  // next log suffix per rank
+};
+
+}  // namespace ibc::test

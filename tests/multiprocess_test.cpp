@@ -1,0 +1,246 @@
+// Tier-2: atomic broadcast across real OS processes.
+//
+// These suites fork one ibcd daemon per rank (multiprocess/fixture.hpp)
+// and check the §2.1 contract where tier 1 cannot: across genuine
+// process boundaries, with SIGKILL as the crash and a relaunch from the
+// on-disk store as the recovery. The delivery oracle is the PR 7
+// exactly-once/total-order one, adapted to a real kill:
+//
+//   * never-killed ranks must end with byte-identical delivery logs;
+//   * a killed rank's first-incarnation log L1 must be a strict prefix
+//     of the survivors' log R, its second-incarnation log L2 the
+//     contiguous suffix of R, with L1 and L2 disjoint — pre-crash
+//     deliveries are never repeated and the downtime gap is filled by
+//     journal replay + peer catch-up;
+//   * between L1 and L2 at most kMaxKillWindowLoss deliveries may be
+//     missing from the union: the journal syncs the kDeliver record
+//     BEFORE the daemon's subscriber writes the log line, so a SIGKILL
+//     landing between the two loses observed lines (bounded by the
+//     in-flight window) but can never fabricate, duplicate, or reorder
+//     one.
+#include <algorithm>
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "multiprocess/fixture.hpp"
+#include "net/tcp/tcp_process.hpp"
+
+namespace ibc::test {
+namespace {
+
+/// Deliveries that may vanish between a synced kDeliver record and the
+/// daemon's log write when SIGKILL lands in between. One delivery is
+/// mid-callback at most, but a decided batch can apply several ids
+/// back-to-back before the reactor returns to poll.
+constexpr std::size_t kMaxKillWindowLoss = 32;
+
+ProcessId origin_of(const std::string& line) {
+  return static_cast<ProcessId>(std::stoul(line.substr(0, line.find(':'))));
+}
+
+std::size_t count_origin(const std::vector<std::string>& log,
+                         ProcessId origin) {
+  return static_cast<std::size_t>(
+      std::count_if(log.begin(), log.end(), [origin](const std::string& l) {
+        return origin_of(l) == origin;
+      }));
+}
+
+std::size_t count_tagged(const std::vector<std::string>& log,
+                         const std::string& tag) {
+  const std::string needle = "." + tag + ".";
+  return static_cast<std::size_t>(
+      std::count_if(log.begin(), log.end(), [&](const std::string& l) {
+        return l.find(needle) != std::string::npos;
+      }));
+}
+
+void expect_exactly_once(const std::vector<std::string>& log,
+                         const std::string& who) {
+  std::set<std::string> seen;
+  for (const std::string& line : log) {
+    const std::string id = line.substr(0, line.find(' '));
+    EXPECT_TRUE(seen.insert(id).second)
+        << who << " delivered " << id << " twice";
+  }
+}
+
+using MultiprocessTraffic = MultiprocessTest;
+
+TEST_F(MultiprocessTraffic, ThreeRanksDeliverOneTotalOrder) {
+  constexpr std::uint32_t kN = 3;
+  constexpr int kSend = 30;
+  IbcdOptions opts;
+  opts.n = kN;
+  opts.send = kSend;
+  opts.interval_ms = 2;
+  for (ProcessId rank = 1; rank <= kN; ++rank) spawn_rank(rank, opts);
+  ASSERT_TRUE(barrier("ready", kN)) << "cluster never finished booting";
+
+  const std::size_t expected = kN * static_cast<std::size_t>(kSend);
+  ASSERT_TRUE(wait_until(
+      [&] {
+        for (ProcessId rank = 1; rank <= kN; ++rank)
+          if (deliveries(rank).size() < expected) return false;
+        return true;
+      },
+      seconds(60)))
+      << "cluster never delivered the full load";
+
+  stop_all();
+  for (ProcessId rank = 1; rank <= kN; ++rank) expect_child_exit(rank);
+
+  const std::vector<std::string> reference = deliveries(1);
+  ASSERT_EQ(reference.size(), expected);
+  expect_exactly_once(reference, "rank 1");
+  for (ProcessId origin = 1; origin <= kN; ++origin) {
+    EXPECT_EQ(count_origin(reference, origin),
+              static_cast<std::size_t>(kSend));
+  }
+  for (ProcessId rank = 2; rank <= kN; ++rank) {
+    EXPECT_EQ(deliveries(rank), reference)
+        << "rank " << rank << " delivered a different total order";
+  }
+}
+
+TEST_F(MultiprocessTraffic, FiveRanksDeliverOneTotalOrder) {
+  constexpr std::uint32_t kN = 5;
+  constexpr int kSend = 15;
+  IbcdOptions opts;
+  opts.n = kN;
+  opts.send = kSend;
+  opts.interval_ms = 2;
+  for (ProcessId rank = 1; rank <= kN; ++rank) spawn_rank(rank, opts);
+  ASSERT_TRUE(barrier("ready", kN)) << "cluster never finished booting";
+
+  const std::size_t expected = kN * static_cast<std::size_t>(kSend);
+  ASSERT_TRUE(wait_until(
+      [&] {
+        for (ProcessId rank = 1; rank <= kN; ++rank)
+          if (deliveries(rank).size() < expected) return false;
+        return true;
+      },
+      seconds(60)))
+      << "cluster never delivered the full load";
+
+  stop_all();
+  for (ProcessId rank = 1; rank <= kN; ++rank) expect_child_exit(rank);
+
+  const std::vector<std::string> reference = deliveries(1);
+  ASSERT_EQ(reference.size(), expected);
+  expect_exactly_once(reference, "rank 1");
+  for (ProcessId origin = 1; origin <= kN; ++origin) {
+    EXPECT_EQ(count_origin(reference, origin),
+              static_cast<std::size_t>(kSend));
+  }
+  for (ProcessId rank = 2; rank <= kN; ++rank) {
+    EXPECT_EQ(deliveries(rank), reference)
+        << "rank " << rank << " delivered a different total order";
+  }
+}
+
+using MultiprocessCrash = MultiprocessTest;
+
+// The headline case: a rank is SIGKILLed while the cluster is under
+// load, then relaunched as a brand-new OS process pointed at the same
+// store directory. It must rejoin via journal replay + peer catch-up,
+// resume broadcasting (its new frames must not collide with the dead
+// incarnation's in any peer's dedup state), and the §2.1 oracle must
+// hold across both incarnations.
+TEST_F(MultiprocessCrash, SigkilledRankRejoinsFromItsStoreExactlyOnce) {
+  constexpr std::uint32_t kN = 3;
+  constexpr ProcessId kVictim = 3;
+  constexpr int kSendFirst = 80;   // ~2s of load at 25ms per send
+  constexpr int kSendSecond = 10;  // the relaunch broadcasts fresh load
+  IbcdOptions opts;
+  opts.n = kN;
+  opts.send = kSendFirst;
+  opts.interval_ms = 25;
+  for (ProcessId rank = 1; rank <= kN; ++rank) spawn_rank(rank, opts);
+  ASSERT_TRUE(barrier("ready", kN)) << "cluster never finished booting";
+
+  // Let the victim get partway into the run, then kill it for real.
+  ASSERT_TRUE(wait_until([&] { return deliveries(kVictim).size() >= 20; },
+                         seconds(60)))
+      << "cluster never got under way";
+  sigkill_rank(kVictim);
+  const std::vector<std::string> first = deliveries(kVictim);
+  const std::size_t total = kN * static_cast<std::size_t>(kSendFirst);
+  ASSERT_LT(first.size(), total)
+      << "the kill landed after the load finished - not a mid-load crash";
+
+  // Relaunch against the same store. No cleanup of any kind: whatever
+  // the dead incarnation managed to sync is exactly what the new
+  // process finds. The relaunch's payloads carry a tag so the oracle
+  // can tell its fresh broadcasts from the dead incarnation's — they
+  // must not be swallowed by any peer's duplicate-suppression state.
+  IbcdOptions relaunch = opts;
+  relaunch.send = kSendSecond;
+  relaunch.tag = "inc1";
+  spawn_rank(kVictim, relaunch);
+
+  // The survivors' full load plus the relaunch's new broadcasts must
+  // all come out; then drain and stop.
+  ASSERT_TRUE(wait_until(
+      [&] {
+        const std::vector<std::string> log = deliveries(1);
+        return count_origin(log, 1) == kSendFirst &&
+               count_origin(log, 2) == kSendFirst &&
+               count_tagged(log, "inc1") ==
+                   static_cast<std::size_t>(kSendSecond);
+      },
+      seconds(90)))
+      << "the relaunched rank's broadcasts never got ordered";
+  stop_all();
+  for (ProcessId rank = 1; rank <= kN; ++rank) expect_child_exit(rank);
+
+  // Survivors agree with each other...
+  const std::vector<std::string> reference = deliveries(1);
+  EXPECT_EQ(deliveries(2), reference)
+      << "the surviving ranks diverged";
+  expect_exactly_once(reference, "rank 1");
+  EXPECT_EQ(count_origin(reference, 1), static_cast<std::size_t>(kSendFirst));
+  EXPECT_EQ(count_origin(reference, 2), static_cast<std::size_t>(kSendFirst));
+  // Every one of the relaunch's tagged broadcasts was ordered exactly
+  // once: the new incarnation's frames did not collide with the dead
+  // one's in any peer's dedup table.
+  EXPECT_EQ(count_tagged(reference, "inc1"),
+            static_cast<std::size_t>(kSendSecond));
+
+  // ...and the victim's two incarnations tile the reference order:
+  // L1 a strict prefix, L2 the contiguous suffix, a bounded gap between.
+  const std::vector<std::string> second = deliveries(kVictim, 1);
+  ASSERT_LE(first.size(), reference.size());
+  EXPECT_TRUE(std::equal(first.begin(), first.end(), reference.begin()))
+      << "pre-crash deliveries are not a prefix of the group order";
+  ASSERT_LE(second.size(), reference.size());
+  const std::size_t resume_at = reference.size() - second.size();
+  EXPECT_TRUE(std::equal(second.begin(), second.end(),
+                         reference.begin() +
+                             static_cast<std::ptrdiff_t>(resume_at)))
+      << "post-restart deliveries are not the suffix of the group order";
+  EXPECT_GE(resume_at, first.size())
+      << "the relaunch repeated a delivery the old incarnation made";
+  EXPECT_LE(resume_at - first.size(), kMaxKillWindowLoss)
+      << "the kill window swallowed more than the in-flight bound";
+}
+
+// Satellite guard: every listener binds 127.0.0.1 port 0 and reports the
+// kernel's choice, so concurrent clusters (ctest -j) can never collide
+// on a hard-coded port.
+TEST(TcpProcessPorts, KernelAssignsDistinctEphemeralPorts) {
+  net::tcp::TcpProcess a(1, 2);
+  net::tcp::TcpProcess b(2, 2);
+  const std::uint16_t port_a = a.bind_listener();
+  const std::uint16_t port_b = b.bind_listener();
+  EXPECT_NE(port_a, 0);
+  EXPECT_NE(port_b, 0);
+  EXPECT_NE(port_a, port_b);
+}
+
+}  // namespace
+}  // namespace ibc::test

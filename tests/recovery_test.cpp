@@ -7,10 +7,13 @@
 // record, empty log, snapshot + tail, double restart.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <filesystem>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "harness.hpp"
 #include "recovery/recovery.hpp"
 #include "runtime/cluster.hpp"
 #include "store/storage.hpp"
@@ -18,6 +21,21 @@
 
 namespace ibc {
 namespace {
+
+/// A mkdtemp scratch directory for filesystem-backed (kFs) stores,
+/// removed on scope exit so repeated runs cannot see stale journals.
+struct TmpStoreDir {
+  TmpStoreDir() {
+    std::string tmpl = "/tmp/ibc-recovery.XXXXXX";
+    const char* got = ::mkdtemp(tmpl.data());
+    if (got != nullptr) path = got;
+  }
+  ~TmpStoreDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  std::string path;
+};
 
 abcast::StackConfig recovery_stack() {
   abcast::StackConfig config;  // indirect CT + RB-flood over heartbeat FD
@@ -62,6 +80,7 @@ void expect_full_recovery(Cluster& cluster, ProcessId restarted) {
 }
 
 TEST(Recovery, SimRestartRejoinsExactlyOnce) {
+  SCOPED_TRACE(test::repro_hint(11));
   Cluster cluster(ClusterOptions{}
                       .with_n(3)
                       .with_seed(11)
@@ -83,6 +102,7 @@ TEST(Recovery, SimRestartRejoinsExactlyOnce) {
 TEST(Recovery, SimRestartWithSnapshotAndLogTail) {
   recovery::Config rec;
   rec.snapshot_every = 8;  // several snapshots during the run
+  SCOPED_TRACE(test::repro_hint(12));
   Cluster cluster(ClusterOptions{}
                       .with_n(3)
                       .with_seed(12)
@@ -101,6 +121,7 @@ TEST(Recovery, SimRestartMidBatchExpandsExactlyOnce) {
   // Batching on: a crash lands between batched deliveries, and the
   // restart must not re-expand any batch (same sequence as a peer ⇒
   // every constituent message exactly once).
+  SCOPED_TRACE(test::repro_hint(13));
   Cluster cluster(ClusterOptions{}
                       .with_n(3)
                       .with_seed(13)
@@ -118,6 +139,7 @@ TEST(Recovery, SimRestartMidBatchExpandsExactlyOnce) {
 TEST(Recovery, SimRestartWithEmptyLogIsFirstBootPlusCatchup) {
   // Crash before the victim journals anything: recovery finds an empty
   // store and the whole history arrives via catch-up.
+  SCOPED_TRACE(test::repro_hint(14));
   Cluster cluster(ClusterOptions{}
                       .with_n(3)
                       .with_seed(14)
@@ -131,6 +153,7 @@ TEST(Recovery, SimRestartWithEmptyLogIsFirstBootPlusCatchup) {
 }
 
 TEST(Recovery, SimDoubleRestart) {
+  SCOPED_TRACE(test::repro_hint(15));
   Cluster cluster(ClusterOptions{}
                       .with_n(3)
                       .with_seed(15)
@@ -148,6 +171,7 @@ TEST(Recovery, SimDoubleRestart) {
 TEST(Recovery, RestartOfLiveProcessIsNoOp) {
   // Schedule minimizers drop crashes independently of restarts; a
   // restart without a preceding crash must be harmless.
+  SCOPED_TRACE(test::repro_hint(16));
   Cluster cluster(ClusterOptions{}
                       .with_n(3)
                       .with_seed(16)
@@ -162,6 +186,7 @@ TEST(Recovery, RestartOfLiveProcessIsNoOp) {
 
 TEST(Recovery, SimReplayIsDeterministic) {
   const auto run_once = [] {
+    SCOPED_TRACE(test::repro_hint(17));
     Cluster cluster(ClusterOptions{}
                         .with_n(3)
                         .with_seed(17)
@@ -221,7 +246,84 @@ TEST(Recovery, TornFinalRecordReplaysToLastGoodRecordAndRotates) {
   EXPECT_EQ(third.recovered().core.opened_k, 3u);
 }
 
+TEST(Recovery, FsBackedRestartRejoinsExactlyOnce) {
+  // Same scenario as SimRestartRejoinsExactlyOnce, but the journal lives
+  // in a real directory (FsDir): the restart replays bytes that went
+  // through open/write/fsync, not a MemDir's vectors.
+  SCOPED_TRACE(test::repro_hint(31));
+  TmpStoreDir tmp;
+  ASSERT_FALSE(tmp.path.empty()) << "mkdtemp failed";
+  recovery::Config rec;
+  rec.medium = recovery::Config::Medium::kFs;
+  rec.fs_path = tmp.path;
+  Cluster cluster(ClusterOptions{}
+                      .with_n(3)
+                      .with_seed(31)
+                      .with_stack(recovery_stack())
+                      .with_recovery(rec)
+                      .with_crash(milliseconds(120), 3)
+                      .with_restart(milliseconds(320), 3));
+  drive_load(cluster, /*rounds=*/60, milliseconds(10));
+  cluster.run_until_quiesced(milliseconds(400), seconds(30));
+
+  expect_full_recovery(cluster, 3);
+  EXPECT_GT(cluster.stats().fsyncs, 0u);
+  // The journal really hit the filesystem.
+  EXPECT_FALSE(std::filesystem::is_empty(tmp.path + "/p3"));
+}
+
+TEST(Recovery, FsBackedDoubleRestartWithSnapshots) {
+  SCOPED_TRACE(test::repro_hint(32));
+  TmpStoreDir tmp;
+  ASSERT_FALSE(tmp.path.empty()) << "mkdtemp failed";
+  recovery::Config rec;
+  rec.medium = recovery::Config::Medium::kFs;
+  rec.fs_path = tmp.path;
+  rec.snapshot_every = 8;
+  Cluster cluster(ClusterOptions{}
+                      .with_n(3)
+                      .with_seed(32)
+                      .with_stack(recovery_stack())
+                      .with_recovery(rec)
+                      .with_crash(milliseconds(120), 3)
+                      .with_restart(milliseconds(280), 3)
+                      .with_crash(milliseconds(450), 3)
+                      .with_restart(milliseconds(600), 3));
+  drive_load(cluster, /*rounds=*/80, milliseconds(10));
+  cluster.run_until_quiesced(milliseconds(400), seconds(30));
+  expect_full_recovery(cluster, 3);
+  EXPECT_GT(cluster.stats().snapshot_count, 0u);
+}
+
+TEST(Recovery, ConcurrentRestartsCatchUpTogether) {
+  // Two of n=5 crash back-to-back and restart with overlapping catch-up
+  // windows. The three never-crashed processes keep a live majority, so
+  // consensus continues throughout; both returners must fill their gaps
+  // even though each one's catch-up requests race the other's (a peer
+  // may be asked for history while itself still catching up — it serves
+  // only what it has decided, so progress relies on the stable
+  // majority). This directed case pins down behavior the randomized
+  // fuzzer rarely hits: restart windows that overlap almost exactly.
+  SCOPED_TRACE(test::repro_hint(33));
+  Cluster cluster(ClusterOptions{}
+                      .with_n(5)
+                      .with_seed(33)
+                      .with_stack(recovery_stack())
+                      .with_recovery()
+                      .with_crash(milliseconds(120), 4)
+                      .with_crash(milliseconds(130), 5)
+                      .with_restart(milliseconds(300), 4)
+                      .with_restart(milliseconds(310), 5));
+  drive_load(cluster, /*rounds=*/60, milliseconds(10));
+  cluster.run_until_quiesced(milliseconds(400), seconds(30));
+
+  expect_full_recovery(cluster, 4);
+  expect_full_recovery(cluster, 5);
+  EXPECT_GT(cluster.stats().catchup_ids_fetched, 0u);
+}
+
 TEST(Recovery, TcpRestartRejoinsExactlyOnce) {
+  SCOPED_TRACE(test::repro_hint(21));
   Cluster cluster(ClusterOptions{}
                       .with_n(3)
                       .with_seed(21)
