@@ -86,6 +86,21 @@ void Batcher::arm_idle_flush() {
   if (config_.max_msgs <= 1 || idle_flush_armed_) return;
   idle_flush_armed_ = env_.run_at_idle([this] {
     idle_flush_armed_ = false;
+    // Backlog-aware sizing: while the transport still holds frames a
+    // previous writev could not put on the wire, flushing an underfull
+    // batch now cannot reach the socket any sooner — it only shrinks
+    // the frames-per-syscall amortization. Keep the batch open and
+    // check again at the next idle point; the size/bytes triggers and
+    // the max_delay timer (armed whenever a batch is open) remain the
+    // ceilings, so latency is still bounded. Deferral requires the
+    // timer: with max_delay = 0 nothing else would ever flush an
+    // underfull batch, so it leaves at idle as before.
+    if (timer_ != 0 && !pending_.empty() &&
+        pending_.size() < config_.max_msgs &&
+        pending_bytes_ < config_.max_bytes && env_.transport_backlog()) {
+      arm_idle_flush();
+      return;
+    }
     flush();
   });
 }

@@ -27,8 +27,13 @@
 // `max_delay` elapses after the first message entered it. The delay is
 // a ceiling for hosts without an idleness notion (the simulator), not a
 // wait: on the TCP reactor an underfull batch never holds traffic back.
-// `max_msgs = 1` (the default) flushes inside every add — bit-for-bit
-// the unbatched Algorithm 1 behavior, with no timer ever armed.
+// One refinement: when the transport reports an outbound backlog
+// (`Env::transport_backlog` — frames a previous writev could not put on
+// the wire), the idle flush defers and the batch keeps growing; an
+// early flush could not reach the wire sooner, it would only shrink the
+// frames-per-syscall amortization. `max_msgs = 1` (the default) flushes
+// inside every add — bit-for-bit the unbatched Algorithm 1 behavior,
+// with no timer ever armed.
 #pragma once
 
 #include <cstddef>

@@ -16,6 +16,7 @@ std::string describe(const StackConfig& config) {
     case RbKind::kFloodN2: out += " + RB(n^2)"; break;
     case RbKind::kFdBasedN: out += " + RB(n)"; break;
     case RbKind::kUniform: out += " + URB"; break;
+    case RbKind::kRing: out += " + RB(ring)"; break;
   }
   if (config.pipeline_depth > 1)
     out += " [W=" + std::to_string(config.pipeline_depth) + "]";
@@ -81,6 +82,10 @@ ProcessStack::ProcessStack(runtime::Host& host, ProcessId p,
       bcast_owned_ =
           std::make_unique<bcast::UrbBroadcast>(stack_, runtime::kLayerUrb);
       break;
+    case RbKind::kRing:
+      bcast_owned_ = std::make_unique<bcast::RbRing>(
+          stack_, runtime::kLayerBcast, *fd_);
+      break;
   }
   bcast_ = bcast_owned_.get();
 
@@ -107,6 +112,10 @@ ProcessStack::ProcessStack(runtime::Host& host, ProcessId p,
       const recovery::RecoveryManager::Recovered& rec =
           recovery_->recovered();
       ind->mutable_ordering().restore(rec.core);
+      // Instances up to opened_k may have been voted in by the previous
+      // incarnation; this one abstains from them (D6) — and must say so,
+      // or peers wait forever on it as those rounds' coordinator.
+      indirect_consensus_->set_participation_floor(rec.core.opened_k);
       ind->restore_seq(rec.reserved_seq);
       // Each broadcast frame consumes at least one reserved abcast seq
       // and reservations are synced before use, so reserved_seq bounds
@@ -119,6 +128,8 @@ ProcessStack::ProcessStack(runtime::Host& host, ProcessId p,
           std::make_unique<recovery::CatchupLayer>(*recovery_, *ind);
       catchup_->bind(stack_.register_layer(recovery::kLayerCatchup,
                                            *catchup_, "catchup"));
+      recovery_->set_apply_listener(
+          [c = catchup_.get()] { c->notify_decision_applied(); });
     }
     return;
   }

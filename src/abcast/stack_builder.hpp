@@ -11,7 +11,9 @@
 //                           with rb = kUniform  -> correct   (Figs. 5-7)
 //                           with rb = flood/fd  -> FAULTY    (Figs. 3-4, §2.2)
 //   algo      kCt / kMr   which ♦S engine drives the ordering
-//   rb        kFloodN2 / kFdBasedN / kUniform
+//   rb        kFloodN2 / kFdBasedN / kUniform / kRing (successor-only
+//             dissemination, O(n) wire messages, 1 send per node per
+//             frame — docs/PROTOCOL.md D7)
 //   fd        kHeartbeat (runs anywhere) / kPerfect (simulation oracle)
 #pragma once
 
@@ -23,6 +25,7 @@
 #include "abcast/batcher.hpp"
 #include "bcast/rb_fd.hpp"
 #include "bcast/rb_flood.hpp"
+#include "bcast/rb_ring.hpp"
 #include "bcast/urb.hpp"
 #include "consensus/ct.hpp"
 #include "consensus/mr.hpp"
@@ -42,7 +45,7 @@ namespace ibc::abcast {
 
 enum class Variant { kIndirect, kMsgs, kIdsPlain };
 enum class ConsensusAlgo { kCt, kMr };
-enum class RbKind { kFloodN2, kFdBasedN, kUniform };
+enum class RbKind { kFloodN2, kFdBasedN, kUniform, kRing };
 enum class FdKind { kHeartbeat, kPerfect };
 
 struct StackConfig {

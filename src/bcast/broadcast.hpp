@@ -65,6 +65,20 @@ class BroadcastService {
     return payload_bytes_copied_;
   }
 
+  // Dissemination counters (ClusterStats): how much wire traffic this
+  // process's broadcast layer generates per frame it handles. A frame is
+  // "handled" once per process — at broadcast() for the origin, at first
+  // receipt elsewhere — and `wire_sends` counts the point-to-point
+  // messages this layer emitted to *other* processes (loopback
+  // self-deliveries excluded). sends/frames is the per-node fan-out:
+  // n-1 for the flooding origin, 1 for a ring node.
+  std::uint64_t frames_handled() const { return frames_handled_; }
+  std::uint64_t wire_sends() const { return wire_sends_; }
+  /// Slowest origin→deliver dissemination path observed, in nanoseconds
+  /// of host time (0 where the wire format carries no origin timestamp —
+  /// today only RbRing frames do).
+  std::uint64_t hop_latency_max_ns() const { return hop_latency_max_ns_; }
+
  protected:
   void deliver(ProcessId origin, const Payload& payload) const {
     for (const DeliverFn& fn : subscribers_) fn(origin, payload);
@@ -78,9 +92,19 @@ class BroadcastService {
     return Payload::copy_of(v);
   }
 
+  /// Implementations call these at the points described above.
+  void count_frame() { ++frames_handled_; }
+  void count_wire_sends(std::uint64_t sends) { wire_sends_ += sends; }
+  void note_hop_latency(std::uint64_t ns) {
+    if (ns > hop_latency_max_ns_) hop_latency_max_ns_ = ns;
+  }
+
  private:
   std::vector<DeliverFn> subscribers_;
   std::uint64_t payload_bytes_copied_ = 0;
+  std::uint64_t frames_handled_ = 0;
+  std::uint64_t wire_sends_ = 0;
+  std::uint64_t hop_latency_max_ns_ = 0;
 };
 
 }  // namespace ibc::bcast

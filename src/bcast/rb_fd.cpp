@@ -19,6 +19,8 @@ void RbFdBased::broadcast(Bytes payload) {
   // Encoded once; the loopback copy and the multicast share the buffer.
   const Payload wire = ctx_.make_frame(w.view());
   store_.emplace(key, Payload::wrap(std::move(payload)));
+  count_frame();
+  count_wire_sends(ctx_.n() - 1);
   ctx_.send_frame(ctx_.self(), wire);
   ctx_.multicast_frame(wire);
 }
@@ -38,6 +40,7 @@ void RbFdBased::on_message(ProcessId from, Reader& r) {
   if (store_.contains(key)) return;  // duplicate (relay of something we have)
   const auto [it, inserted] = store_.emplace(key, copy_payload(payload));
   (void)inserted;
+  count_frame();
 
   // If the origin is already suspected, this copy travelled through a
   // relay or raced the crash: forward it so Agreement doesn't depend on
@@ -54,8 +57,10 @@ void RbFdBased::relay(const MessageId& key, BytesView payload,
   const Payload wire = ctx_.make_frame(w.view());
   const std::uint32_t n = ctx_.n();
   for (ProcessId p = 1; p <= n; ++p) {
-    if (p != ctx_.self() && p != key.origin && p != skip)
+    if (p != ctx_.self() && p != key.origin && p != skip) {
       ctx_.send_frame(p, wire);
+      count_wire_sends(1);
+    }
   }
 }
 

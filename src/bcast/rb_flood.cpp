@@ -21,6 +21,8 @@ void RbFlood::broadcast(Bytes payload) {
   // frame a second time.
   seen_.insert(key);
   own_.emplace(key, Payload::wrap(std::move(payload)));
+  count_frame();
+  count_wire_sends(ctx_.n() - 1);
   ctx_.send_frame(ctx_.self(), wire);
   ctx_.multicast_frame(wire);
 }
@@ -52,9 +54,12 @@ void RbFlood::on_message(ProcessId from, Reader& r) {
   w.blob(payload);
   const Payload wire = ctx_.make_frame(w.view());
   const std::uint32_t n = ctx_.n();
+  count_frame();
   for (ProcessId p = 1; p <= n; ++p) {
-    if (p != ctx_.self() && p != key.origin && p != from)
+    if (p != ctx_.self() && p != key.origin && p != from) {
       ctx_.send_frame(p, wire);
+      count_wire_sends(1);
+    }
   }
   deliver(key.origin, copy_payload(payload));
 }

@@ -1,0 +1,144 @@
+// Reliable broadcast over a ring — O(n) messages, n-1 hops in good runs.
+//
+// Ring-Paxos-style dissemination: instead of the origin flooding all n-1
+// peers (and every receiver re-flooding, RbFlood's (n-1)² messages), each
+// process forwards a frame to exactly one ring successor. The payload
+// travels p → p+1 → … around the ring; every node sends each frame once,
+// so a broadcast costs n-1 point-to-point payload messages total — the
+// same wire budget as RbFdBased's good runs, but with per-*node* egress
+// of one frame instead of the origin paying all n-1 (the property that
+// keeps per-node throughput flat as n grows; bench/fig11_dissemination).
+//
+// Each frame carries a `visited` bitmap of the processes that have
+// handled it. A receiver ORs in its own bit and forwards to the first
+// process after itself in ring order that is neither visited nor
+// suspected by the local failure detector. Crashed successors are thus
+// skipped; a frame stops when every non-visited process is suspected
+// (parked) or none remains (the loop closed).
+//
+// Crash/suspicion repair (the Agreement argument, docs/PROTOCOL.md D7):
+//   * a hop is not trusted until it is *confirmed*: the node whose merged
+//     visited mask covers the whole group (the loop closed) fans a tiny
+//     DONE token out to every other process — one hop of confirmation
+//     latency, n-1 control messages that rotate with the origin. Until
+//     DONE arrives, a holder re-runs the forward scan on a retry timer
+//     whose delay is an RTO: it starts from an EWMA of observed loop
+//     times and doubles per retry, so an idle ring repairs in ~25 ms
+//     while a loaded ring retries on the timescale confirmations
+//     actually take (a fixed cadence here congestion-collapses). The
+//     retry is what survives the case the failure detector cannot see:
+//     a successor that crashes *and restarts between heartbeats* loses
+//     the frame without ever being suspected, and the retry simply
+//     lands on its fresh incarnation, which treats it as a first
+//     receipt and forwards on;
+//   * if the forwarded-to successor becomes suspected, the holder re-runs
+//     the scan immediately rather than waiting out the retry timer — the
+//     chain a crash broke is re-spliced by the last correct holder
+//     (failure-detector strong completeness fires this);
+//   * every node remembers the processes it *skipped* (suspected but
+//     possibly alive); when a skipped process stops being suspected, the
+//     node sends it the frame directly — a falsely suspected process is
+//     repaired as soon as one holder's detector recants. Receivers dedup,
+//     so retry and repair duplicates are harmless.
+//
+// Like RbFlood this is *reliable*, not uniform, broadcast: a node
+// delivers on first receipt, so deliver-then-crash before the forward
+// leaves the host loses the frame for everyone downstream who didn't
+// have it — exactly the §2.2 gap indirect consensus repairs, which is
+// why kIdsPlain over a ring stays FAULTY in the stack builder.
+//
+// Frames also carry the origin's send timestamp, so the delivering node
+// can report the worst origin→deliver path (`hop_latency_max_ns`): a
+// ring trades wire volume for latency linear in n, and that price is
+// measured, not hidden.
+//
+// The visited bitmap is a u32, so ring stacks require n <= 32 (enforced
+// at construction; the fuzzer's repro parser has the same bound).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "bcast/broadcast.hpp"
+#include "fd/failure_detector.hpp"
+#include "runtime/stack.hpp"
+#include "util/payload.hpp"
+
+namespace ibc::bcast {
+
+class RbRing final : public runtime::Layer, public BroadcastService {
+ public:
+  RbRing(runtime::Stack& stack, runtime::LayerId layer_id,
+         fd::FailureDetector& detector);
+
+  void broadcast(Bytes payload) override;
+
+  /// See BroadcastService: keeps a restarted incarnation's keys disjoint
+  /// from what peers already hold in their dedup tables — the ring
+  /// position itself is the process id, so a restarted process re-enters
+  /// the ring with nothing but a fresh sequence base.
+  void set_seq_base(std::uint64_t base) override { next_seq_ = base; }
+
+  void on_message(ProcessId from, Reader& r) override;
+
+ private:
+  // Frame kinds on the wire (first byte of every ring frame).
+  enum Kind : std::uint8_t {
+    kForward = 0,  // payload hop: id | visited | origin_ns | blob
+    kDone = 1,     // backward confirmation: id only
+  };
+
+  /// Per-frame dissemination state, kept for the run (like RbFdBased's
+  /// relay store): the payload for re-forwards, what we know has been
+  /// visited, whom we forwarded to, and whom we skipped on suspicion.
+  struct FrameState {
+    Payload payload;
+    std::uint32_t visited = 0;  // bits of processes known to hold it
+    std::uint32_t skipped = 0;  // bits we skipped while they were suspect
+    std::uint64_t origin_ns = 0;
+    TimePoint first_seen = 0;   // local receipt time; feeds the loop EWMA
+    TimePoint last_send = 0;    // throttles the retry sweep
+    Duration retry_delay = 0;   // per-frame RTO; set on first forward
+    ProcessId forwarded_to = kInvalidProcess;
+    bool delivered = false;
+    bool done = false;  // loop known closed: stop retrying
+  };
+
+  static std::uint32_t bit(ProcessId p) { return 1u << (p - 1); }
+  std::uint32_t full_mask() const {
+    return ctx_.n() >= 32 ? 0xFFFFFFFFu : (1u << ctx_.n()) - 1;
+  }
+
+  /// Scans ring order from self+1 for the first process neither visited
+  /// nor suspected, records skips, and sends the frame there. Marks the
+  /// frame done when the visited mask already covers everyone (no-op
+  /// when parked: every non-visited process is suspected).
+  void forward(const MessageId& key, FrameState& state);
+  void send_to(ProcessId dst, const MessageId& key, FrameState& state);
+  /// Loop known closed: stop retrying. `announce` fans DONE out to every
+  /// other process — set when the closure was discovered locally (from
+  /// the merged visited mask), not when learned from a DONE frame.
+  void mark_done(const MessageId& key, FrameState& state, bool announce);
+  void send_done_to(ProcessId dst, const MessageId& key);
+  void on_fd_transition(ProcessId p, bool suspected);
+  /// Re-forwards every unconfirmed frame whose per-frame RTO elapsed,
+  /// then re-arms while any remains.
+  void arm_sweep();
+  void sweep();
+  /// Initial per-frame retry delay: an RTO tracking the observed loop
+  /// completion time, so idle-time repair stays fast while loaded rings
+  /// retry on the timescale confirmations actually take.
+  Duration initial_rto() const;
+
+  runtime::LayerContext ctx_;
+  fd::FailureDetector& detector_;
+  std::uint64_t next_seq_ = 0;
+  std::unordered_map<MessageId, FrameState> frames_;
+  std::unordered_set<MessageId> undone_;  // frames still awaiting DONE
+  bool sweep_armed_ = false;
+  /// EWMA of first-seen → DONE time for frames this node held (ns).
+  double loop_ewma_ns_ = 0.0;
+};
+
+}  // namespace ibc::bcast

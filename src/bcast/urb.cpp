@@ -11,6 +11,7 @@ void UrbBroadcast::broadcast(Bytes payload) {
   Pending& p = state_[key];
   p.payload = Payload::wrap(std::move(payload));  // own copy, no duplicate
   p.forwarders.insert(ctx_.self());
+  count_frame();
   forward(key, p.payload);
   // n == 1: we are our own majority.
   if (p.forwarders.size() >= majority() && !p.delivered) {
@@ -25,6 +26,7 @@ void UrbBroadcast::forward(const MessageId& key, BytesView payload) {
   w.blob(payload);
   // One encode, one shared buffer across the n-1 FORWARD targets.
   ctx_.multicast_frame(ctx_.make_frame(w.view()));
+  count_wire_sends(ctx_.n() - 1);
 }
 
 void UrbBroadcast::on_message(ProcessId from, Reader& r) {
@@ -42,6 +44,7 @@ void UrbBroadcast::account(const MessageId& key, ProcessId forwarder,
     // all correct processes).
     p.payload = copy_payload(payload);
     p.forwarders.insert(ctx_.self());
+    count_frame();
     forward(key, p.payload);
   }
   p.forwarders.insert(forwarder);

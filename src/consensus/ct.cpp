@@ -13,6 +13,7 @@ enum MsgType : std::uint8_t {
   kAck = 3,       // phase 3: (r) -> coordinator
   kNack = 4,      // phase 3: (r) -> coordinator
   kDecide = 5,    // (value), relayed on first receipt
+  kAbstain = 6,   // (floor): sender votes in no instance k <= floor
 };
 }  // namespace
 
@@ -20,10 +21,30 @@ CtConsensus::CtConsensus(runtime::Stack& stack, runtime::LayerId layer_id,
                          fd::FailureDetector& detector, CtConfig config)
     : ctx_(stack.register_layer(layer_id, *this, "ct")),
       detector_(detector),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      abstain_floor_(ctx_.n() + 1, 0) {
   detector_.subscribe([this](ProcessId p, bool suspected) {
     if (suspected) on_suspicion(p);
   });
+}
+
+void CtConsensus::on_start() {
+  // A restarted incarnation announces its abstention floor up front:
+  // peers already running rounds of a barred instance may be waiting on
+  // *us* as that round's coordinator, with nothing in flight that would
+  // trigger the reactive reply below.
+  if (floor_ == 0) return;
+  const std::uint32_t n = ctx_.n();
+  for (ProcessId p = 1; p <= n; ++p) {
+    if (p != ctx_.self()) send_abstain(p);
+  }
+}
+
+void CtConsensus::send_abstain(ProcessId dst) {
+  Writer w(12);
+  w.u8(kAbstain);
+  w.u64(floor_);
+  ctx_.send(dst, w.take());
 }
 
 bool CtConsensus::has_decided(InstanceId k) const {
@@ -135,11 +156,14 @@ void CtConsensus::try_phase3(InstanceId k, Instance& inst) {
       ++stats_.proposals_refused;
     }
     phase3_reply(k, inst, accept);
-  } else if (detector_.is_suspected(coord_of(inst.round))) {
+  } else if (detector_.is_suspected(coord_of(inst.round)) ||
+             abstains(coord_of(inst.round), k)) {
+    // An announced abstention is handled like a suspicion: the
+    // coordinator is alive but will never propose in this instance.
     phase3_reply(k, inst, false);
   }
-  // Otherwise keep waiting: a proposal arrival or a suspicion will
-  // re-trigger this check.
+  // Otherwise keep waiting: a proposal arrival, a suspicion, or an
+  // abstain announcement will re-trigger this check.
 }
 
 void CtConsensus::phase3_reply(InstanceId k, Instance& inst, bool ack) {
@@ -223,6 +247,24 @@ void CtConsensus::on_suspicion(ProcessId p) {
 void CtConsensus::on_message(ProcessId from, Reader& r) {
   const auto type = static_cast<MsgType>(r.u8());
   const InstanceId k = r.u64();
+
+  if (type == kAbstain) {
+    // Here the u64 is the sender's participation floor, not an instance
+    // id: `from` votes in no instance <= k. Record it and wake every
+    // instance blocked in Phase 3 on `from` as coordinator.
+    if (k > abstain_floor_[from]) {
+      abstain_floor_[from] = k;
+      for (auto& [ki, blocked] : instances_) {
+        if (ki <= k && blocked.proposed && !blocked.decided &&
+            blocked.wait == Wait::kProposal &&
+            coord_of(blocked.round) == from) {
+          try_phase3(ki, blocked);
+        }
+      }
+    }
+    return;
+  }
+
   Instance& inst = instance(k);
 
   if (type == kDecide) {
@@ -247,6 +289,14 @@ void CtConsensus::on_message(ProcessId from, Reader& r) {
       w.blob(inst.decision);
       ctx_.send(from, w.take());
     }
+    return;
+  }
+
+  if (!inst.proposed && k <= floor_) {
+    // Restart-amnesia floor (D6): this incarnation never proposes — and
+    // so never acts — in this instance. Answer round traffic with an
+    // abstain so the sender stops waiting on us (e.g. as coordinator).
+    if (from != ctx_.self()) send_abstain(from);
     return;
   }
 

@@ -35,6 +35,7 @@
 #include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 #include "consensus/consensus.hpp"
 #include "fd/failure_detector.hpp"
@@ -57,6 +58,18 @@ class CtConsensus final : public runtime::Layer, public Consensus {
   void propose(InstanceId k, Bytes value) override;
   bool has_decided(InstanceId k) const override;
 
+  /// Restart-amnesia floor (docs/PROTOCOL.md D6): this incarnation must
+  /// not vote in any instance k <= floor — a previous incarnation may
+  /// already have, and voting again with wiped round state could
+  /// contradict it. Abstention is *announced* (at start and in reply to
+  /// round messages for barred instances), because an abstainer that
+  /// stays silent wedges the rounds it would coordinate: it is alive,
+  /// so ♦S never suspects it, and without a proposal or a suspicion the
+  /// other processes wait forever. Peers treat an announced abstention
+  /// exactly like a suspicion of that coordinator for those instances.
+  void set_participation_floor(InstanceId floor) { floor_ = floor; }
+
+  void on_start() override;
   void on_message(ProcessId from, Reader& r) override;
 
   /// Current round of instance `k` (0 if not started) — test observability.
@@ -109,11 +122,18 @@ class CtConsensus final : public runtime::Layer, public Consensus {
   void on_suspicion(ProcessId p);
 
   void send_decide(InstanceId k, BytesView value, ProcessId skip);
+  void send_abstain(ProcessId dst);
+  /// True iff `q` announced it abstains from instance `k`.
+  bool abstains(ProcessId q, InstanceId k) const {
+    return k <= abstain_floor_[q];
+  }
 
   runtime::LayerContext ctx_;
   fd::FailureDetector& detector_;
   CtConfig config_;
   std::unordered_map<InstanceId, Instance> instances_;
+  InstanceId floor_ = 0;  // own abstention floor (restart recovery)
+  std::vector<InstanceId> abstain_floor_;  // [1..n] peers' announced floors
 };
 
 }  // namespace ibc::consensus

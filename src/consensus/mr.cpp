@@ -11,6 +11,7 @@ enum MsgType : std::uint8_t {
   kCoord = 1,   // phase 1: (r, estimate) coordinator -> all
   kEcho = 2,    // phase 1->2: (r, ⊥ | value) -> all
   kDecide = 3,  // (value), relayed on first receipt
+  kAbstain = 4,  // (floor): sender votes in no instance k <= floor
 };
 }  // namespace
 
@@ -18,10 +19,30 @@ MrConsensus::MrConsensus(runtime::Stack& stack, runtime::LayerId layer_id,
                          fd::FailureDetector& detector, MrConfig config)
     : ctx_(stack.register_layer(layer_id, *this, "mr")),
       detector_(detector),
-      config_(std::move(config)) {
+      config_(std::move(config)),
+      abstain_floor_(ctx_.n() + 1, 0) {
   detector_.subscribe([this](ProcessId p, bool suspected) {
     if (suspected) on_suspicion(p);
   });
+}
+
+void MrConsensus::on_start() {
+  // A restarted incarnation announces its abstention floor up front:
+  // peers already running rounds of a barred instance may be waiting on
+  // *us* as that round's coordinator, with nothing in flight that would
+  // trigger the reactive reply in on_message.
+  if (floor_ == 0) return;
+  const std::uint32_t n = ctx_.n();
+  for (ProcessId p = 1; p <= n; ++p) {
+    if (p != ctx_.self()) send_abstain(p);
+  }
+}
+
+void MrConsensus::send_abstain(ProcessId dst) {
+  Writer w(12);
+  w.u8(kAbstain);
+  w.u64(floor_);
+  ctx_.send(dst, w.take());
 }
 
 std::uint32_t MrConsensus::quorum() const {
@@ -87,10 +108,14 @@ void MrConsensus::try_phase1(InstanceId k, Instance& inst) {
       ++stats_.proposals_refused;
       send_echo(k, inst, std::nullopt);
     }
-  } else if (detector_.is_suspected(coord_of(inst.round))) {
+  } else if (detector_.is_suspected(coord_of(inst.round)) ||
+             abstains(coord_of(inst.round), k)) {
+    // An announced abstention is handled like a suspicion: the
+    // coordinator is alive but will never send its value here.
     send_echo(k, inst, std::nullopt);
   }
-  // Otherwise wait: coordinator value or suspicion will re-trigger.
+  // Otherwise wait: a coordinator value, a suspicion, or an abstain
+  // announcement will re-trigger this check.
 }
 
 void MrConsensus::send_echo(InstanceId k, Instance& inst,
@@ -195,6 +220,24 @@ void MrConsensus::on_suspicion(ProcessId p) {
 void MrConsensus::on_message(ProcessId from, Reader& r) {
   const auto type = static_cast<MsgType>(r.u8());
   const InstanceId k = r.u64();
+
+  if (type == kAbstain) {
+    // Here the u64 is the sender's participation floor, not an instance
+    // id: `from` votes in no instance <= k. Record it and wake every
+    // instance blocked in Phase 1 on `from` as coordinator.
+    if (k > abstain_floor_[from]) {
+      abstain_floor_[from] = k;
+      for (auto& [ki, blocked] : instances_) {
+        if (ki <= k && blocked.proposed && !blocked.decided &&
+            blocked.wait == Wait::kCoord &&
+            coord_of(blocked.round) == from) {
+          try_phase1(ki, blocked);
+        }
+      }
+    }
+    return;
+  }
+
   Instance& inst = instance(k);
 
   if (type == kDecide) {
@@ -215,6 +258,14 @@ void MrConsensus::on_message(ProcessId from, Reader& r) {
       w.blob(inst.decision);
       ctx_.send(from, w.take());
     }
+    return;
+  }
+
+  if (!inst.proposed && k <= floor_) {
+    // Restart-amnesia floor (D6): this incarnation never proposes — and
+    // so never acts — in this instance. Answer round traffic with an
+    // abstain so the sender stops waiting on us (e.g. as coordinator).
+    if (from != ctx_.self()) send_abstain(from);
     return;
   }
 

@@ -64,6 +64,15 @@ class MrConsensus final : public runtime::Layer, public Consensus {
   void propose(InstanceId k, Bytes value) override;
   bool has_decided(InstanceId k) const override;
 
+  /// Restart-amnesia floor (docs/PROTOCOL.md D6): this incarnation must
+  /// not vote in any instance k <= floor. Abstention is announced (at
+  /// start, and in reply to round traffic for barred instances) so that
+  /// peers waiting on us as a round's coordinator treat us like a
+  /// suspected process instead of waiting forever — we are alive, so ♦S
+  /// alone would never unblock them.
+  void set_participation_floor(InstanceId floor) { floor_ = floor; }
+
+  void on_start() override;
   void on_message(ProcessId from, Reader& r) override;
 
   std::uint32_t round_of(InstanceId k) const;
@@ -115,10 +124,18 @@ class MrConsensus final : public runtime::Layer, public Consensus {
   void schedule_next_round(InstanceId k, std::uint32_t r);
   void on_suspicion(ProcessId p);
 
+  void send_abstain(ProcessId dst);
+  /// True iff `q` announced it abstains from instance `k`.
+  bool abstains(ProcessId q, InstanceId k) const {
+    return k <= abstain_floor_[q];
+  }
+
   runtime::LayerContext ctx_;
   fd::FailureDetector& detector_;
   MrConfig config_;
   std::unordered_map<InstanceId, Instance> instances_;
+  InstanceId floor_ = 0;  // own abstention floor (restart recovery)
+  std::vector<InstanceId> abstain_floor_;  // [1..n] peers' announced floors
 };
 
 }  // namespace ibc::consensus

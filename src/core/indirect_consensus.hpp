@@ -45,6 +45,13 @@ class IndirectConsensus {
 
   virtual bool has_decided(consensus::InstanceId k) const = 0;
 
+  /// Restart-amnesia floor (docs/PROTOCOL.md D6): forwarded to the
+  /// engine so it announces its abstention from instances <= floor
+  /// instead of staying silent (a silent alive abstainer wedges the
+  /// rounds it would coordinate — peers neither see a proposal nor a
+  /// suspicion). Default: no-op for engines without the notion.
+  virtual void set_participation_floor(consensus::InstanceId) {}
+
   /// Underlying engine counters (rounds, refusals, ...) for tests and
   /// ablations.
   virtual const consensus::Consensus::Stats& stats() const = 0;

@@ -36,6 +36,9 @@ class MrIndirect final : public IndirectConsensus {
 
   void propose(consensus::InstanceId k, IdSet v, RcvFn rcv) override;
   bool has_decided(consensus::InstanceId k) const override;
+  void set_participation_floor(consensus::InstanceId floor) override {
+    engine_.set_participation_floor(floor);
+  }
   const consensus::Consensus::Stats& stats() const override {
     return engine_.stats();
   }

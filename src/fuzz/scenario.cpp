@@ -48,6 +48,11 @@ const std::vector<StackChoice>& fuzz_stacks() {
        abcast::RbKind::kFloodN2, "MsgsCtFloodN2"},
       {abcast::Variant::kIdsPlain, abcast::ConsensusAlgo::kCt,
        abcast::RbKind::kUniform, "UrbIdsCt"},
+      // Appended last so pre-existing repro files' stack indices stay
+      // valid. Ring dissemination + crash schedules exercises the
+      // successor-skip/re-forward repair paths (PROTOCOL.md D7).
+      {abcast::Variant::kIndirect, abcast::ConsensusAlgo::kCt,
+       abcast::RbKind::kRing, "IndirectCtRing"},
   };
   return stacks;
 }

@@ -162,6 +162,16 @@ bool TcpEnv::run_at_idle(TimerFn fn) {
   return true;
 }
 
+bool TcpEnv::transport_backlog() const {
+  if (!on_reactor()) return false;
+  for (ProcessId p = 1; p <= n_; ++p) {
+    if (p == self_) continue;
+    const Peer& peer = peers_[p];
+    if (peer.open && peer.has_backlog()) return true;
+  }
+  return false;
+}
+
 void TcpEnv::start_thread() {
   thread_ = std::jthread([this](const std::stop_token& st) {
     reactor_loop(st);

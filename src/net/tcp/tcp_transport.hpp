@@ -73,6 +73,9 @@ class TcpEnv final : public runtime::Env {
   void cancel_timer(runtime::TimerId id) override;
   void defer(TimerFn fn) override;
   bool run_at_idle(TimerFn fn) override;
+  /// Any per-peer output queue still non-empty (reactor thread only —
+  /// every caller is protocol code, which runs nowhere else).
+  bool transport_backlog() const override;
   void charge_cpu(Duration) override {}  // real CPUs charge themselves
   void set_receive(ReceiveFn fn) override { receive_ = std::move(fn); }
   Rng& rng() override { return rng_; }

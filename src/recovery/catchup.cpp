@@ -38,6 +38,17 @@ void CatchupLayer::begin() {
   ctx_.set_timer(milliseconds(1), [this] { poll(); });
 }
 
+void CatchupLayer::notify_decision_applied() {
+  if (!begun_ || !done_) return;
+  if (abcast_.ordering().missing_payload_ids(1).empty()) return;
+  ctx_.log().logf(LogLevel::kInfo,
+                  "catch-up: re-armed (post-catch-up decision ordered a "
+                  "payload this incarnation never received)");
+  done_ = false;
+  clean_polls_ = 0;
+  ctx_.set_timer(milliseconds(1), [this] { poll(); });
+}
+
 void CatchupLayer::poll() {
   if (done_) return;
   const core::OrderingCore& core = abcast_.ordering();

@@ -50,6 +50,14 @@ class CatchupLayer final : public runtime::Layer {
   bool caught_up() const { return begun_ && done_; }
   bool recovering() const { return begun_ && !done_; }
 
+  /// Wired to RecoveryManager::set_apply_listener: a decision applied
+  /// *after* the poll finished can still order an id this process never
+  /// received — its flood completed while the process was down, and
+  /// completed floods are never re-sent (the previous incarnation may
+  /// even have been the origin). Re-arms the payload poll in that case;
+  /// a no-op on first-boot processes and while a poll is running.
+  void notify_decision_applied();
+
   void on_message(ProcessId from, Reader& r) override;
 
  private:

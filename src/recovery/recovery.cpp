@@ -116,6 +116,7 @@ void RecoveryManager::on_decision_applied(
       entries_since_snapshot_ >= config_.snapshot_every) {
     take_snapshot();
   }
+  if (apply_listener_) apply_listener_();
 }
 
 void RecoveryManager::on_deliver_batch(const MessageId& head,

@@ -15,6 +15,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -104,6 +105,15 @@ class RecoveryManager final : public core::OrderingJournal {
     catchup_ids_fetched_ += n;
   }
 
+  /// Invoked after every applied decision is journaled. The catch-up
+  /// layer uses it to notice when a decision orders an id whose payload
+  /// this process never received (possible only with restart amnesia:
+  /// the payload's flood happened while the process was down, and
+  /// nothing re-sends a completed flood) and re-arm its payload poll.
+  void set_apply_listener(std::function<void()> fn) {
+    apply_listener_ = std::move(fn);
+  }
+
   Counters counters() const;
 
  private:
@@ -124,6 +134,7 @@ class RecoveryManager final : public core::OrderingJournal {
   std::uint64_t snapshot_count_ = 0;
   std::uint64_t catchup_ids_fetched_ = 0;
   double replay_ms_ = 0.0;
+  std::function<void()> apply_listener_;
 };
 
 }  // namespace ibc::recovery

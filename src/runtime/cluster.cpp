@@ -215,10 +215,13 @@ ClusterStats Cluster::stats() {
     std::uint64_t batches = 0;
     std::uint64_t batched_msgs = 0;
     std::uint64_t copied = 0;
+    std::uint64_t rb_frames = 0;
+    std::uint64_t rb_sends = 0;
+    std::uint64_t rb_hop_ns = 0;
     recovery::Counters rec = retired_recovery_[p];
     const auto read_stats = [this, p, &engine, &completed, &high_water,
                              &deduped, &batches, &batched_msgs, &copied,
-                             &rec] {
+                             &rb_frames, &rb_sends, &rb_hop_ns, &rec] {
       engine = nodes_[p - 1].stack_->consensus_stats();
       if (const core::OrderingCore* ord = nodes_[p - 1].stack_->ordering()) {
         completed = ord->instances_completed();
@@ -229,7 +232,11 @@ ClusterStats Cluster::stats() {
         batches = b->batches_sent();
         batched_msgs = b->msgs_sent();
       }
-      copied = nodes_[p - 1].stack_->broadcast().payload_bytes_copied();
+      const bcast::BroadcastService& rb = nodes_[p - 1].stack_->broadcast();
+      copied = rb.payload_bytes_copied();
+      rb_frames = rb.frames_handled();
+      rb_sends = rb.wire_sends();
+      rb_hop_ns = rb.hop_latency_max_ns();
       if (const recovery::RecoveryManager* rm =
               nodes_[p - 1].stack_->recovery_manager()) {
         rec += rm->counters();
@@ -256,6 +263,17 @@ ClusterStats Cluster::stats() {
     stats.batches_sent += batches;
     stats.msgs_batched += batched_msgs;
     stats.payload_bytes_copied += copied;
+    stats.rb_frames += rb_frames;
+    stats.rb_wire_sends += rb_sends;
+    if (rb_frames > 0) {
+      stats.rb_sends_per_frame_max =
+          std::max(stats.rb_sends_per_frame_max,
+                   static_cast<double>(rb_sends) /
+                       static_cast<double>(rb_frames));
+    }
+    stats.rb_hop_latency_max_ms =
+        std::max(stats.rb_hop_latency_max_ms,
+                 static_cast<double>(rb_hop_ns) / 1e6);
     stats.log_appends += rec.log_appends;
     stats.log_bytes += rec.log_bytes;
     stats.fsyncs += rec.fsyncs;

@@ -104,6 +104,14 @@ struct ClusterOptions {
     stack = config;
     return *this;
   }
+  /// Dissemination variant: how the broadcast layer moves payloads
+  /// (flooding, FD-triggered relays, URB, or successor-only ring —
+  /// see abcast::RbKind). Convenience for sweeps that hold the rest of
+  /// the stack fixed.
+  ClusterOptions& with_rb(abcast::RbKind kind) {
+    stack.rb = kind;
+    return *this;
+  }
   /// Window of concurrent ordering instances (W). 1 is the
   /// paper-faithful sequential Algorithm 1 (the default, via
   /// `StackConfig::pipeline_depth`); larger windows pipeline consensus
@@ -206,6 +214,16 @@ struct ClusterStats {
   /// R-delivery at the broadcast layer; everything above shares that
   /// copy by reference (summed over processes).
   std::uint64_t payload_bytes_copied = 0;
+  // Broadcast-layer dissemination counters (docs/PROTOCOL.md D7): frames
+  // the layer handled and point-to-point sends it emitted, summed over
+  // processes; `rb_sends_per_frame_max` is the worst per-node fan-out
+  // (max over processes of sends/frames — n-1 at a flooding origin, 1 on
+  // a ring node), `rb_hop_latency_max_ms` the slowest origin→deliver
+  // dissemination path (ring frames only; 0 elsewhere).
+  std::uint64_t rb_frames = 0;
+  std::uint64_t rb_wire_sends = 0;
+  double rb_sends_per_frame_max = 0.0;
+  double rb_hop_latency_max_ms = 0.0;
   // Transport-efficiency counters (TCP host only; zero on the sim).
   std::uint64_t writev_calls = 0;        // flush syscalls issued
   std::uint64_t wakeups = 0;             // wake-pipe writes (cross-thread)

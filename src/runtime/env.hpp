@@ -83,6 +83,16 @@ class Env {
     return false;
   }
 
+  /// True while the transport still holds outbound frames a previous
+  /// flush could not put on the wire (the TCP reactor's per-peer writev
+  /// queues). The Batcher reads this to size batches from queue depth:
+  /// flushing an underfull batch into a backlog cannot reach the wire
+  /// any sooner, so it keeps growing instead. Only meaningful on the
+  /// process's own execution context. Hosts without an outbound queue
+  /// (the simulator: sends depart instantly into the event calendar)
+  /// keep the default, which also preserves bit-identical sim schedules.
+  virtual bool transport_backlog() const { return false; }
+
   /// Charges modeled CPU time (no-op outside the simulator). Protocols use
   /// it to account for work whose real C++ cost is negligible but whose
   /// cost in the paper's Java testbed is part of the measured effect.

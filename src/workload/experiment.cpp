@@ -182,6 +182,10 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   res.batches_sent = stats.batches_sent;
   res.msgs_per_batch_avg = stats.msgs_per_batch_avg;
   res.payload_bytes_copied = stats.payload_bytes_copied;
+  res.rb_frames = stats.rb_frames;
+  res.rb_wire_sends = stats.rb_wire_sends;
+  res.rb_sends_per_frame_max = stats.rb_sends_per_frame_max;
+  res.rb_hop_latency_max_ms = stats.rb_hop_latency_max_ms;
   res.writev_calls = stats.writev_calls;
   res.wakeups = stats.wakeups;
   res.frames_per_writev_avg = stats.frames_per_writev_avg;

@@ -107,6 +107,10 @@ struct ExperimentResult {
   std::uint64_t batches_sent = 0;
   double msgs_per_batch_avg = 0.0;
   std::uint64_t payload_bytes_copied = 0;
+  std::uint64_t rb_frames = 0;
+  std::uint64_t rb_wire_sends = 0;
+  double rb_sends_per_frame_max = 0.0;  // n-1 flooding, 1 ring
+  double rb_hop_latency_max_ms = 0.0;   // ring origin→deliver high water
 
   // Transport-efficiency counters (TCP host only; zero on the sim).
   std::uint64_t writev_calls = 0;

@@ -40,6 +40,7 @@ struct Param {
       case abcast::RbKind::kFloodN2: s += "FloodN2"; break;
       case abcast::RbKind::kFdBasedN: s += "FdN"; break;
       case abcast::RbKind::kUniform: s += "Urb"; break;
+      case abcast::RbKind::kRing: s += "Ring"; break;
     }
     s += "n" + std::to_string(n) + "f" + std::to_string(crashes) + "s" +
          std::to_string(seed);
@@ -149,6 +150,8 @@ std::vector<Param> make_params() {
        abcast::RbKind::kFloodN2},
       {abcast::Variant::kIndirect, abcast::ConsensusAlgo::kCt,
        abcast::RbKind::kFdBasedN},
+      {abcast::Variant::kIndirect, abcast::ConsensusAlgo::kCt,
+       abcast::RbKind::kRing},
       {abcast::Variant::kIndirect, abcast::ConsensusAlgo::kMr,
        abcast::RbKind::kFloodN2},
       {abcast::Variant::kMsgs, abcast::ConsensusAlgo::kCt,

@@ -1,5 +1,6 @@
 // Unit tests for the broadcast layer: RB-flood (O(n²)), FD-based RB
-// (O(n) good runs), and uniform reliable broadcast.
+// (O(n) good runs), ring RB (O(n) always), and uniform reliable
+// broadcast.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -7,6 +8,7 @@
 
 #include "bcast/rb_fd.hpp"
 #include "bcast/rb_flood.hpp"
+#include "bcast/rb_ring.hpp"
 #include "bcast/urb.hpp"
 #include "fd/scripted_fd.hpp"
 #include "runtime/sim_cluster.hpp"
@@ -14,7 +16,7 @@
 namespace ibc::bcast {
 namespace {
 
-enum class Kind { kFlood, kFdBased, kUrb };
+enum class Kind { kFlood, kFdBased, kRing, kUrb };
 
 struct Fixture {
   explicit Fixture(Kind kind, std::uint32_t n = 3,
@@ -32,6 +34,11 @@ struct Fixture {
         case Kind::kFdBased:
           fds[p] = std::make_unique<fd::ScriptedFd>();
           services.push_back(std::make_unique<RbFdBased>(
+              st, runtime::kLayerBcast, *fds[p]));
+          break;
+        case Kind::kRing:
+          fds[p] = std::make_unique<fd::ScriptedFd>();
+          services.push_back(std::make_unique<RbRing>(
               st, runtime::kLayerBcast, *fds[p]));
           break;
         case Kind::kUrb:
@@ -61,7 +68,7 @@ struct Fixture {
   runtime::SimCluster cluster;
   std::vector<std::unique_ptr<runtime::Stack>> stacks;
   std::vector<std::unique_ptr<BroadcastService>> services;
-  std::vector<std::unique_ptr<fd::ScriptedFd>> fds;  // kFdBased only
+  std::vector<std::unique_ptr<fd::ScriptedFd>> fds;  // kFdBased/kRing
   std::vector<std::vector<std::pair<ProcessId, Bytes>>> deliveries;
 };
 
@@ -107,7 +114,7 @@ TEST_P(AllKinds, LargeGroup) {
 
 INSTANTIATE_TEST_SUITE_P(Kinds, AllKinds,
                          ::testing::Values(Kind::kFlood, Kind::kFdBased,
-                                           Kind::kUrb));
+                                           Kind::kRing, Kind::kUrb));
 
 // ----------------------------------------------------- message counts
 
@@ -132,6 +139,85 @@ TEST(RbFdBased, WireMessageCountIsLinearInGoodRuns) {
     EXPECT_EQ(f.cluster.network().counters().messages_sent, (n - 1) + 1)
         << "n=" << n;
   }
+}
+
+TEST(RbRing, WireMessageCountIsLinearAndLoopRunsOnce) {
+  // The payload travels the ring once: n-1 point-to-point hops, plus 1
+  // loopback self-delivery, plus n-1 tiny DONE confirmations flowing
+  // back (chain-replication acknowledgement): 2n-1 messages total. The
+  // per-node payload egress is what fig11 measures: every process
+  // forwards the frame at most once (the tail, whose visited mask is
+  // already full, not at all).
+  for (const std::uint32_t n : {3u, 5u, 7u}) {
+    Fixture f(Kind::kRing, n);
+    f.svc(1).broadcast(bytes_of("x"));
+    f.cluster.run_for(seconds(1));
+    EXPECT_EQ(f.cluster.network().counters().messages_sent, 2 * n - 1)
+        << "n=" << n;
+    std::uint64_t payload_sends = 0;
+    for (ProcessId p = 1; p <= n; ++p) {
+      EXPECT_LE(f.svc(p).wire_sends(), 1u) << "p" << p << " n=" << n;
+      EXPECT_EQ(f.svc(p).frames_handled(), 1u) << "p" << p << " n=" << n;
+      EXPECT_EQ(f.delivered_count(p), 1u) << "p" << p << " n=" << n;
+      payload_sends += f.svc(p).wire_sends();
+    }
+    EXPECT_EQ(payload_sends, n - 1) << "n=" << n;
+    // The last hop reports the measured price of a ring: origin→deliver
+    // latency linear in n (n-1 propagation delays here).
+    EXPECT_GE(f.svc(n).hop_latency_max_ns(),
+              static_cast<std::uint64_t>(milliseconds(n - 1)));
+  }
+}
+
+TEST(RbRing, SuccessorSkipOnCrash) {
+  // A crashed (and suspected) process's ring slot is bypassed: the scan
+  // lands on the next non-visited, non-suspected process and every
+  // correct process still delivers.
+  Fixture f(Kind::kRing, 4);
+  f.cluster.network().crash(2);
+  for (ProcessId p : {1u, 3u, 4u}) f.fd(p).suspect(2);
+  f.svc(1).broadcast(bytes_of("skip-me"));
+  f.cluster.run_for(seconds(1));
+  EXPECT_EQ(f.delivered_count(1), 1u);
+  EXPECT_EQ(f.delivered_count(2), 0u);
+  EXPECT_EQ(f.delivered_count(3), 1u);
+  EXPECT_EQ(f.delivered_count(4), 1u);
+}
+
+TEST(RbRing, SuspicionAfterForwardResplicesChain) {
+  // p2 dies holding the only in-flight copy, and nobody suspects it yet:
+  // the chain is broken and retries keep landing on the corpse — the
+  // frame is stuck (the FD completeness assumption is what bounds this).
+  Fixture f(Kind::kRing, 3);
+  f.cluster.network().crash(2);
+  f.svc(1).broadcast(bytes_of("resplice"));
+  f.cluster.run_for(milliseconds(200));
+  EXPECT_EQ(f.delivered_count(1), 1u);
+  EXPECT_EQ(f.delivered_count(3), 0u);
+
+  // The holder's detector suspecting p2 re-runs the scan immediately:
+  // the chain is re-spliced past the crash.
+  f.fd(1).suspect(2);
+  f.fd(3).suspect(2);
+  f.cluster.run_for(seconds(1));
+  EXPECT_EQ(f.delivered_count(3), 1u);
+}
+
+TEST(RbRing, FalseSuspicionRepairedOnRestore) {
+  // p2 is falsely suspected everywhere: the frame parks after covering
+  // the rest of the ring. When a holder's detector recants, p2 gets the
+  // frame directly and the backward DONE wave completes.
+  Fixture f(Kind::kRing, 3);
+  f.fd(1).suspect(2);
+  f.fd(3).suspect(2);
+  f.svc(1).broadcast(bytes_of("recant"));
+  f.cluster.run_for(milliseconds(200));
+  EXPECT_EQ(f.delivered_count(2), 0u);
+  EXPECT_EQ(f.delivered_count(3), 1u);
+
+  f.fd(3).restore(2);
+  f.cluster.run_for(seconds(1));
+  EXPECT_EQ(f.delivered_count(2), 1u);
 }
 
 TEST(Urb, WireMessageCountIsQuadratic) {

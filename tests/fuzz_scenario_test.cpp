@@ -73,7 +73,7 @@ TEST_P(FuzzDeterminism, SameSeedAndScheduleSameTotalOrder) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Stacks, FuzzDeterminism,
-                         ::testing::Range<std::size_t>(0, 5),
+                         ::testing::Range<std::size_t>(0, 6),
                          [](const auto& info) {
                            return std::string(
                                fuzz_stacks()[info.param].name);

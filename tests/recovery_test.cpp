@@ -136,6 +136,39 @@ TEST(Recovery, SimRestartMidBatchExpandsExactlyOnce) {
   expect_full_recovery(cluster, 3);
 }
 
+TEST(Recovery, SimRestartRejoinsRingDissemination) {
+  // Ring dissemination (docs/PROTOCOL.md D7): the restarted process must
+  // re-enter the forwarding chain — holders retry unconfirmed frames
+  // until the fresh incarnation accepts and relays them, and new
+  // post-restart broadcasts route through it again. Same exactly-once
+  // oracle as the flooding variants.
+  SCOPED_TRACE(test::repro_hint(16));
+  abcast::StackConfig stack = recovery_stack();
+  stack.rb = abcast::RbKind::kRing;
+  Cluster cluster(ClusterOptions{}
+                      .with_n(4)
+                      .with_seed(16)
+                      .with_stack(stack)
+                      .with_recovery()
+                      .with_crash(milliseconds(150), 3)
+                      .with_restart(milliseconds(350), 3));
+  drive_load(cluster, /*rounds=*/60, milliseconds(10));
+  cluster.run_until_quiesced(milliseconds(400), seconds(30));
+  expect_full_recovery(cluster, 3);
+  // Frames flowed through the ring (not flood): cluster-wide payload
+  // sends stay well under flooding's ~n(n-1) per frame even with the
+  // crash-window retries (the 25ms sweep re-sends undone frames until
+  // the restarted incarnation picks them up).
+  const ClusterStats stats = cluster.stats();
+  ASSERT_GT(stats.rb_frames, 0u);
+  const double frames = static_cast<double>(stats.rb_frames) / 4.0;
+  const double sends_per_frame =
+      static_cast<double>(stats.rb_wire_sends) / frames;
+  EXPECT_LT(sends_per_frame, 8.0)
+      << "ring dissemination should stay far below flooding's n(n-1)=12 "
+         "payload sends per frame";
+}
+
 TEST(Recovery, SimRestartWithEmptyLogIsFirstBootPlusCatchup) {
   // Crash before the victim journals anything: recovery finds an empty
   // store and the whole history arrives via catch-up.
