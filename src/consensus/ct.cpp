@@ -335,6 +335,7 @@ void CtConsensus::on_message(ProcessId from, Reader& r) {
       break;
     }
     case kDecide:
+    case kAbstain:
       IBC_UNREACHABLE("handled above");
   }
 }

@@ -291,6 +291,7 @@ void MrConsensus::on_message(ProcessId from, Reader& r) {
       break;
     }
     case kDecide:
+    case kAbstain:
       IBC_UNREACHABLE("handled above");
   }
 }

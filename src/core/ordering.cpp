@@ -27,6 +27,7 @@ void OrderingCore::restore(Restored state) {
   }
   applied_k_ = state.applied_k;
   opened_k_ = state.opened_k;
+  restored_floor_ = state.opened_k;
 }
 
 void OrderingCore::on_rdeliver(const MessageId& id,
@@ -102,15 +103,34 @@ void OrderingCore::apply_decision(consensus::InstanceId k,
 void OrderingCore::maybe_start_instances() {
   // Open an instance while the window has room and there are unordered
   // ids not yet proposed in an open instance (a new instance takes the
-  // whole pool, so one iteration drains it). Instance numbers are
-  // strictly increasing; numbers whose decision already arrived are
-  // skipped (the decision is fixed — proposing there would be wasted
-  // work).
+  // whole pool, so one iteration drains it). The instance number is the
+  // *smallest* one this process has not touched: above everything
+  // applied (and, after a restart, above the journaled participation
+  // floor — this incarnation may have voted in anything at or below it),
+  // skipping numbers whose decision already arrived (the decision is
+  // fixed — proposing there would be wasted work) and numbers we already
+  // have in flight.
+  //
+  // The number chosen here is liveness-critical: an instance decides
+  // only once enough processes propose in it — a process that never
+  // proposes in k never votes in k (the consensus engines buffer round
+  // traffic for unproposed instances), and a live non-proposer is never
+  // suspected, so an instance with too few proposers wedges silently.
+  // Liveness therefore needs every correct process's pool to converge
+  // (reliable broadcast; restored across restarts by the catch-up pool
+  // re-flood, src/recovery/catchup.hpp) *and* converged pools to map to
+  // the same instance numbers — which the lowest-hole rule states
+  // directly: same applied prefix + same pending/in-flight set ⇒ same
+  // next number. (Every number in (applied, opened] is in flight or has
+  // a buffered decision — pending entries only clear by the contiguous
+  // apply loop — so the lowest hole always sits above the old
+  // max(applied, opened) high-water too; the explicit scan just encodes
+  // the requirement rather than relying on that invariant.)
   while (inflight_.size() < window_ && !unproposed_.empty()) {
     const IdSet proposal = std::exchange(unproposed_, IdSet{});
-    consensus::InstanceId k = std::max(applied_k_, opened_k_) + 1;
-    while (pending_decisions_.contains(k)) ++k;
-    opened_k_ = k;
+    consensus::InstanceId k = std::max(applied_k_, restored_floor_) + 1;
+    while (pending_decisions_.contains(k) || inflight_.contains(k)) ++k;
+    opened_k_ = std::max(opened_k_, k);
     for (const MessageId& id : proposal) proposed_.insert(id);
     inflight_.emplace(k, proposal);
     inflight_high_water_ =

@@ -204,10 +204,15 @@ class OrderingCore {
   /// proposal, ready to go (keeps the hot path O(changes), not
   /// O(|unordered|) per event).
   IdSet unproposed_;
-  /// Highest instance this process ever proposed in (or skipped because
-  /// its decision had already arrived); proposals use strictly
-  /// increasing instance numbers.
+  /// Highest instance this process ever proposed in — the durable
+  /// participation floor (D6), not the allocator. New instances take the
+  /// lowest untouched number (see maybe_start_instances), so this only
+  /// ever ratchets up.
   consensus::InstanceId opened_k_ = 0;
+  /// The journaled floor restore() loaded, if any: this incarnation may
+  /// have proposed (and voted) in anything at or below it pre-crash, so
+  /// the allocator never reuses those numbers.
+  consensus::InstanceId restored_floor_ = 0;
   std::map<consensus::InstanceId, IdSet> pending_decisions_;
   std::size_t inflight_high_water_ = 0;
   std::uint64_t ids_deduplicated_ = 0;

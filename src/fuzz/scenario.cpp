@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <mutex>
 #include <set>
 #include <sstream>
 #include <utility>
@@ -161,6 +162,7 @@ RunResult run_scenario(const Scenario& scenario) {
                                .with_n(scenario.n)
                                .with_seed(scenario.seed)
                                .with_stack(cfg)
+                               .with_host(scenario.host)
                                .with_faults(scenario.faults);
   options.crashes = scenario.crashes;
   // Restarts need the durable store, which only the indirect variant
@@ -177,17 +179,27 @@ RunResult run_scenario(const Scenario& scenario) {
   // Randomized traffic over the scenario's window, paced through each
   // process's Env so crashed senders fall silent, exactly like the
   // property suite. Every abroadcast records its id and payload for the
-  // integrity check.
+  // integrity check. On the sim the arrival times come from each
+  // process's own Env stream (bit-for-bit what this fuzzer has always
+  // drawn); on TCP the reactors are already running, so drawing from
+  // env.rng() here would race protocol code — a dedicated fork stands
+  // in, and the `sent` map takes a mutex because the timers fire on n
+  // reactor threads.
+  const bool tcp = scenario.host == runtime::HostKind::kTcp;
   std::map<MessageId, std::pair<ProcessId, Bytes>> sent;
+  std::mutex sent_mu;
   for (ProcessId p = 1; p <= scenario.n; ++p) {
     runtime::Env& env = cluster.env(p);
     abcast::ProcessStack& stack = cluster.node(p).stack();
+    Rng traffic_rng = Rng(scenario.seed).fork("tcp-traffic", p);
     for (std::uint32_t i = 0; i < scenario.msgs_per_sender; ++i) {
-      const Duration at =
-          milliseconds(env.rng().next_in(0, scenario.traffic_window_ms));
-      env.set_timer(at, [&sent, &stack, p, i] {
+      const Duration at = milliseconds(
+          tcp ? traffic_rng.next_in(0, scenario.traffic_window_ms)
+              : env.rng().next_in(0, scenario.traffic_window_ms));
+      env.set_timer(at, [&sent, &sent_mu, &stack, p, i] {
         Bytes payload = make_payload(p, i);
         const MessageId id = stack.abcast().abroadcast(payload);
+        const std::scoped_lock lock(sent_mu);
         sent.emplace(id, std::make_pair(p, std::move(payload)));
       });
     }
@@ -196,10 +208,14 @@ RunResult run_scenario(const Scenario& scenario) {
   // Run out the schedule (traffic + the last fault window), then drain:
   // a run is quiesced when nothing A-delivers for a full second of sim
   // time — generous because failure-detector recovery after a healed
-  // partition is delivery-silent.
+  // partition is delivery-silent. On TCP the same bound is wall clock:
+  // the 45 s limit is the liveness oracle's "bounded time after heal".
   cluster.run_for(std::max<TimePoint>(milliseconds(400),
                                       scenario.faults.quiet_after()));
   cluster.run_until_quiesced(seconds(1), seconds(45));
+  // Join the reactors before the oracle reads protocol state directly
+  // (blocked_head below): a no-op on the sim, race-freedom on TCP.
+  cluster.shutdown();
 
   RunResult result;
   result.stats = cluster.stats();
@@ -371,6 +387,9 @@ std::string to_text(const Scenario& scenario) {
   out << "batch " << scenario.batch_msgs << "\n";
   out << "msgs " << scenario.msgs_per_sender << "\n";
   out << "window " << scenario.traffic_window_ms << "\n";
+  // Emitted only for the non-default host, so repro files written
+  // before the key existed (and the sim corpus) stay byte-identical.
+  if (scenario.host == runtime::HostKind::kTcp) out << "host tcp\n";
   if (scenario.inject_skip_dedup) out << "bug skip_dedup\n";
   for (const ClusterCrash& c : scenario.crashes) {
     out << "crash " << c.at << " " << c.process << "\n";
@@ -418,6 +437,12 @@ std::optional<Scenario> parse_scenario(std::string_view text) {
       if (!(fields >> s.traffic_window_ms) || s.traffic_window_ms < 1) {
         return std::nullopt;
       }
+    } else if (key == "host") {
+      std::string which;
+      if (!(fields >> which)) return std::nullopt;
+      if (which == "tcp") s.host = runtime::HostKind::kTcp;
+      else if (which == "sim") s.host = runtime::HostKind::kSim;
+      else return std::nullopt;
     } else if (key == "bug") {
       std::string which;
       if (!(fields >> which) || which != "skip_dedup") return std::nullopt;

@@ -68,6 +68,13 @@ struct Scenario {
   /// decided *id* order, which the direct (kMsgs) variant doesn't have.
   std::vector<ClusterRestart> restarts;
   net::FaultPlan faults;
+  /// Host the scenario runs on. kSim (the default, and what
+  /// generate_scenario emits) is the deterministic simulator; kTcp runs
+  /// the same schedule against the loopback-TCP host's writev-boundary
+  /// fault stage. Real sockets are not schedule-deterministic, so kTcp
+  /// runs are safety-always + liveness-after-heal with a wall-clock
+  /// bound (the quiesce limit) — determinism sweeps stay sim-only.
+  runtime::HostKind host = runtime::HostKind::kSim;
   /// Fuzzer self-test only: build the stacks with the deliberate
   /// ordering-dedup bug so the oracle has something real to catch.
   bool inject_skip_dedup = false;

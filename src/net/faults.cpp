@@ -105,4 +105,18 @@ std::optional<FaultEvent> parse_fault_event(std::string_view line) {
   return e;
 }
 
+std::optional<FaultPlan> parse_fault_plan(std::string_view text) {
+  FaultPlan plan;
+  std::istringstream in{std::string(text)};
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    const std::optional<FaultEvent> event = parse_fault_event(line);
+    if (!event) return std::nullopt;
+    plan.events.push_back(*event);
+  }
+  return plan;
+}
+
 }  // namespace ibc::net

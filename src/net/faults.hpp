@@ -103,6 +103,12 @@ std::string to_text(const FaultPlan& plan);
 /// Inverse of `to_text(FaultEvent)`; nullopt on malformed input.
 std::optional<FaultEvent> parse_fault_event(std::string_view line);
 
+/// Parses a whole plan: one event per line, blank lines and lines whose
+/// first non-space character is `#` ignored (so fault-plan files can
+/// carry comments). nullopt if any remaining line is malformed —
+/// `ibcd --fault-plan` refuses a half-parsed adversary.
+std::optional<FaultPlan> parse_fault_plan(std::string_view text);
+
 const char* to_string(FaultKind kind);
 std::optional<FaultKind> parse_fault_kind(std::string_view token);
 

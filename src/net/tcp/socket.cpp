@@ -7,10 +7,13 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
+#include <thread>
 
 #include "util/assert.hpp"
+#include "util/rng.hpp"
 
 namespace ibc::net::tcp {
 
@@ -66,6 +69,35 @@ Fd try_connect_loopback(std::uint16_t port) {
     return Fd{};
   }
   return fd;
+}
+
+DialResult dial_loopback_hello(
+    std::uint16_t port, std::uint32_t hello,
+    std::chrono::steady_clock::time_point deadline) {
+  DialResult result;
+  std::uint64_t jitter_state =
+      static_cast<std::uint64_t>(port) ^
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+  std::int64_t backoff_us = 2000;
+  while (true) {
+    ++result.attempts;
+    Fd fd = try_connect_loopback(port);
+    if (fd.valid()) {
+      if (::write(fd.get(), &hello, sizeof hello) == sizeof hello) {
+        result.fd = std::move(fd);
+        return result;
+      }
+      fd.reset();  // peer reset between connect and hello: keep retrying
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return result;
+    const std::int64_t jitter =
+        static_cast<std::int64_t>(splitmix64(jitter_state) %
+                                  static_cast<std::uint64_t>(backoff_us)) -
+        backoff_us / 2;
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us + jitter));
+    backoff_us = std::min<std::int64_t>(backoff_us * 2, 250'000);
+  }
 }
 
 Fd accept_one(const Fd& listener) {

@@ -1,6 +1,7 @@
 // RAII POSIX socket helpers for the loopback TCP transport.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <utility>
 
@@ -48,6 +49,23 @@ Fd try_connect_loopback(std::uint16_t port);
 
 /// Blocking accept.
 Fd accept_one(const Fd& listener);
+
+/// Result of a bounded-backoff dial: the connected socket (invalid if
+/// the deadline passed first) and how many attempts were spent — the
+/// caller logs the count so retry behavior is observable post-mortem.
+struct DialResult {
+  Fd fd;
+  int attempts = 0;
+};
+
+/// Dials 127.0.0.1:port and writes the 4-byte mesh hello, retrying with
+/// capped exponential backoff (2 ms doubling to 250 ms, ±50% jitter)
+/// until `deadline`. The jitter keeps a herd of simultaneously
+/// restarted ranks from re-dialing each other in lockstep; its stream
+/// is seeded off the port and the clock — dial pacing is wall-clock
+/// territory, determinism is not at stake here.
+DialResult dial_loopback_hello(std::uint16_t port, std::uint32_t hello,
+                               std::chrono::steady_clock::time_point deadline);
 
 /// Reads exactly `len` bytes from a blocking socket, giving up after
 /// `timeout_ms` of inactivity (SO_RCVTIMEO). Returns false on EOF,

@@ -1,0 +1,70 @@
+#include "net/tcp/tcp_faults.hpp"
+
+namespace ibc::net::tcp {
+
+LinkFaultStage::Decision LinkFaultStage::decide(ProcessId src, ProcessId dst,
+                                                TimePoint now) {
+  // Plan windows are relative to the arming origin; the env clock on the
+  // TCP host is wall-clock-since-start.
+  const TimePoint rel = now - origin_;
+  Decision decision;
+
+  // Pass 1 — buffering partitions park the frame until the earliest heal
+  // among the active cuts covering this link. The release re-runs the
+  // whole checkpoint (Decision::Action::kHold), because another cut may
+  // have opened by then; this matches SimNetwork::release_held.
+  TimePoint release_rel = 0;
+  for (const FaultEvent& event : plan_.events) {
+    if (event.kind != FaultKind::kPartition) continue;
+    if (!event.active_at(rel) || !event.matches_link(src, dst)) continue;
+    if (release_rel == 0 || event.until < release_rel) {
+      release_rel = event.until;
+    }
+  }
+  if (release_rel != 0) {
+    decision.action = Decision::Action::kHold;
+    decision.release = origin_ + release_rel;
+    return decision;
+  }
+
+  // Pass 2 — lossy faults discard the frame outright.
+  for (const FaultEvent& event : plan_.events) {
+    if (!event.active_at(rel) || !event.matches_link(src, dst)) continue;
+    if (event.kind == FaultKind::kPartitionDrop ||
+        (event.kind == FaultKind::kDrop && rng_.next_double() < event.prob)) {
+      decision.action = Decision::Action::kDrop;
+      return decision;
+    }
+  }
+
+  // Pass 3 — extra latency, summed over matching delay/reorder events.
+  // On a byte stream a delayed frame re-enters the queue behind frames
+  // sent after it, so kReorder's randomized extra genuinely reorders.
+  Duration extra = 0;
+  for (const FaultEvent& event : plan_.events) {
+    if (!event.active_at(rel) || !event.matches_link(src, dst)) continue;
+    if (event.kind == FaultKind::kDelay) {
+      extra += event.extra;
+    } else if (event.kind == FaultKind::kReorder && event.extra > 0) {
+      extra += rng_.next_in(0, event.extra);
+    }
+  }
+
+  // Pass 4 — at most one duplicated copy, carrying the same extra delay.
+  for (const FaultEvent& event : plan_.events) {
+    if (event.kind != FaultKind::kDuplicate) continue;
+    if (!event.active_at(rel) || !event.matches_link(src, dst)) continue;
+    if (rng_.next_double() < event.prob) {
+      decision.duplicate = true;
+      break;
+    }
+  }
+
+  if (extra > 0) {
+    decision.action = Decision::Action::kDelay;
+    decision.release = now + extra;
+  }
+  return decision;
+}
+
+}  // namespace ibc::net::tcp

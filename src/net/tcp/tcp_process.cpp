@@ -38,6 +38,9 @@ TcpProcess::TcpProcess(ProcessId self, std::uint32_t n, std::uint64_t seed)
   env_->frames_ctr_ = &frames_sent_;
   env_->writev_ctr_ = &writev_calls_;
   env_->wakeups_ctr_ = &wakeups_;
+  env_->dropped_fault_ctr_ = &dropped_fault_;
+  env_->duplicated_fault_ctr_ = &duplicated_fault_;
+  env_->delayed_fault_ctr_ = &delayed_fault_;
 }
 
 TcpProcess::~TcpProcess() { shutdown(); }
@@ -150,12 +153,31 @@ bool TcpProcess::crashed(ProcessId p) const {
 }
 
 runtime::HostCounters TcpProcess::counters() const {
-  return runtime::HostCounters{
+  runtime::HostCounters counters{
       messages_sent_.load(std::memory_order_relaxed),
       wire_bytes_sent_.load(std::memory_order_relaxed),
       frames_sent_.load(std::memory_order_relaxed),
       writev_calls_.load(std::memory_order_relaxed),
       wakeups_.load(std::memory_order_relaxed)};
+  counters.dropped_fault = dropped_fault_.load(std::memory_order_relaxed);
+  counters.duplicated_fault =
+      duplicated_fault_.load(std::memory_order_relaxed);
+  counters.delayed_fault = delayed_fault_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void TcpProcess::arm_fault_plan(const FaultPlan& plan) {
+  bool reactor_live;
+  {
+    const std::scoped_lock lock(state_mu_);
+    reactor_live = started_ && !shut_down_;
+  }
+  if (!reactor_live) {
+    env_->set_fault_plan(plan, env_->now());
+    return;
+  }
+  // The reactor owns the fault stage; hand the installation to it.
+  run_on(self_, [this, plan] { env_->set_fault_plan(plan, env_->now()); });
 }
 
 // ---- File-based multi-process coordination -------------------------------
@@ -184,10 +206,21 @@ void publish_port(const std::string& dir, ProcessId rank,
   publish_file(dir, "port." + std::to_string(rank), std::to_string(port));
 }
 
+std::optional<std::uint16_t> read_port(const std::string& dir,
+                                       ProcessId rank) {
+  namespace fs = std::filesystem;
+  const fs::path file = fs::path(dir) / ("port." + std::to_string(rank));
+  std::ifstream in(file);
+  unsigned value = 0;
+  if (in.good() && (in >> value) && value > 0 && value <= 0xffff) {
+    return static_cast<std::uint16_t>(value);
+  }
+  return std::nullopt;
+}
+
 std::vector<std::uint16_t> wait_for_ports(const std::string& dir,
                                           std::uint32_t n,
                                           Duration timeout) {
-  namespace fs = std::filesystem;
   const auto deadline =
       std::chrono::steady_clock::now() + std::chrono::nanoseconds(timeout);
   std::vector<std::uint16_t> ports(n + 1, 0);
@@ -195,11 +228,8 @@ std::vector<std::uint16_t> wait_for_ports(const std::string& dir,
     bool all = true;
     for (ProcessId rank = 1; rank <= n; ++rank) {
       if (ports[rank] != 0) continue;
-      const fs::path file = fs::path(dir) / ("port." + std::to_string(rank));
-      std::ifstream in(file);
-      unsigned value = 0;
-      if (in.good() && (in >> value) && value > 0 && value <= 0xffff) {
-        ports[rank] = static_cast<std::uint16_t>(value);
+      if (const std::optional<std::uint16_t> port = read_port(dir, rank)) {
+        ports[rank] = *port;
       } else {
         all = false;
       }

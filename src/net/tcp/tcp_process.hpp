@@ -32,6 +32,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,13 @@ class TcpProcess final : public runtime::Host {
 
   runtime::HostCounters counters() const override;
 
+  /// Arms the adversary fault program on this rank's outbound links
+  /// (ibcd --fault-plan). Window times are relative to the moment of
+  /// arming — each rank arms as it passes the ready barrier, so
+  /// cross-rank window alignment is as tight as the barrier. Safe to
+  /// call before or after start().
+  void arm_fault_plan(const FaultPlan& plan);
+
  private:
   const ProcessId self_;
   const std::uint32_t n_;
@@ -118,6 +126,9 @@ class TcpProcess final : public runtime::Host {
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> writev_calls_{0};
   std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> dropped_fault_{0};
+  std::atomic<std::uint64_t> duplicated_fault_{0};
+  std::atomic<std::uint64_t> delayed_fault_{0};
 };
 
 // ---- File-based multi-process coordination -------------------------------
@@ -137,6 +148,13 @@ bool file_exists(const std::string& dir, const std::string& name);
 /// Publishes this rank's TCP port as `port.<rank>`.
 void publish_port(const std::string& dir, ProcessId rank,
                   std::uint16_t port);
+
+/// Reads `port.<rank>` once, if present and well-formed. Unlike
+/// wait_for_ports this is a single non-blocking probe: redial loops
+/// call it every attempt, so a relaunched rank's freshly re-published
+/// port is picked up mid-retry instead of hammering the dead one.
+std::optional<std::uint16_t> read_port(const std::string& dir,
+                                       ProcessId rank);
 
 /// Polls until `port.1` .. `port.n` are all present, then returns the
 /// ports indexed by rank ([0] unused). Empty on timeout.

@@ -60,6 +60,16 @@ void TcpEnv::wake() {
 }
 
 void TcpEnv::enqueue_frame(ProcessId dst, const Payload& msg) {
+  // The only cost an unfaulted run pays for the adversary machinery:
+  // one null-pointer check.
+  if (faults_ != nullptr) {
+    fault_checkpoint(dst, msg);
+    return;
+  }
+  enqueue_frame_direct(dst, msg);
+}
+
+void TcpEnv::enqueue_frame_direct(ProcessId dst, const Payload& msg) {
   Peer& peer = peers_[dst];
   if (!peer.open) return;  // peer gone: reliable-channel-until-crash
   // Counted here — frames actually queued on a socket — so sends to
@@ -71,6 +81,83 @@ void TcpEnv::enqueue_frame(ProcessId dst, const Payload& msg) {
   }
   peer.outq.push_back(
       OutFrame{frame_header(static_cast<std::uint32_t>(msg.size())), msg});
+}
+
+namespace {
+void bump(std::atomic<std::uint64_t>* ctr) {
+  if (ctr != nullptr) ctr->fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace
+
+void TcpEnv::fault_checkpoint(ProcessId dst, const Payload& msg) {
+  using Action = LinkFaultStage::Decision::Action;
+  const LinkFaultStage::Decision verdict =
+      faults_->decide(self_, dst, now());
+  switch (verdict.action) {
+    case Action::kDrop:
+      bump(dropped_fault_ctr_);
+      return;
+    case Action::kHold:
+      // Buffering partition: park until the heal, then re-check.
+      bump(delayed_fault_ctr_);
+      held_.push_back(HeldFrame{verdict.release, dst, msg, true});
+      return;
+    case Action::kDelay:
+      bump(delayed_fault_ctr_);
+      if (verdict.duplicate) {
+        bump(duplicated_fault_ctr_);
+        held_.push_back(HeldFrame{verdict.release, dst, msg, false});
+      }
+      held_.push_back(HeldFrame{verdict.release, dst, msg, false});
+      return;
+    case Action::kForward:
+      if (verdict.duplicate) {
+        bump(duplicated_fault_ctr_);
+        enqueue_frame_direct(dst, msg);
+      }
+      enqueue_frame_direct(dst, msg);
+      return;
+  }
+}
+
+void TcpEnv::release_due_held() {
+  if (held_.empty()) return;
+  const TimePoint t = now();
+  bool any_due = false;
+  for (const HeldFrame& h : held_) {
+    if (h.release <= t) {
+      any_due = true;
+      break;
+    }
+  }
+  if (!any_due) return;
+  // Swap out first: a re-checked frame can park itself again (a second
+  // cut opened during the first hold), and it must land in held_, not in
+  // the deque being iterated.
+  std::deque<HeldFrame> pending;
+  pending.swap(held_);
+  for (HeldFrame& h : pending) {
+    if (h.release > t) {
+      held_.push_back(std::move(h));
+    } else if (h.recheck) {
+      fault_checkpoint(h.dst, h.msg);
+    } else {
+      enqueue_frame_direct(h.dst, h.msg);
+    }
+  }
+}
+
+void TcpEnv::set_fault_plan(FaultPlan plan, TimePoint origin) {
+  IBC_REQUIRE_MSG(on_reactor() || reactor_tid_.load() == std::thread::id{},
+                  "set_fault_plan off the reactor while it runs");
+  if (plan.empty()) {
+    faults_.reset();
+    return;
+  }
+  // The adversary draws from its own forked stream, exactly like
+  // SimNetwork: arming a plan never perturbs protocol randomness.
+  faults_ = std::make_unique<LinkFaultStage>(std::move(plan), origin,
+                                             rng_.fork("adversary"));
 }
 
 void TcpEnv::send(ProcessId dst, Payload msg) {
@@ -190,6 +277,9 @@ void TcpEnv::request_stop() {
     peer.outq.clear();
     peer.out_offset = 0;
   }
+  // Parked fault frames die with the incarnation — the simulator
+  // likewise loses held messages whose sender crashes before the heal.
+  held_.clear();
   listener_.reset();
 }
 
@@ -206,7 +296,10 @@ void TcpEnv::reset_for_restart() {
   }
   receive_ = nullptr;
   // Fresh peer slots: a decoder holding half a pre-crash frame must not
-  // parse the new incarnation's stream.
+  // parse the new incarnation's stream. The fault *plan* survives (the
+  // restarted process rejoins the same hostile wire); its parked frames
+  // do not.
+  held_.clear();
   for (Peer& peer : peers_) peer = Peer{};
   // Stale wakeup bytes would make the first poll spin.
   std::uint8_t sink[256];
@@ -245,14 +338,34 @@ void TcpEnv::handle_accept() {
     std::uint32_t hello = 0;
     if (!read_exact(conn, &hello, sizeof hello, kHelloTimeoutMs)) continue;
     if (hello < 1 || hello > n_ || hello == self_) continue;
-    make_nonblocking_nodelay(conn);
-    // Replacing the slot is safe: a peer only dials while its previous
-    // incarnation's connection is dead (initial wiring, or a restarted
-    // process re-joining the mesh after a real crash).
     Peer& peer = peers_[hello];
+    if (peer.open) {
+      // Two connections for one pair: either the slot holds a dead
+      // predecessor whose FIN we have not read yet, or both ends dialed
+      // each other simultaneously (two restarted ranks redialing the
+      // mesh at once). Drain the existing socket first so a queued
+      // death notice is observed before we arbitrate.
+      handle_readable(hello);
+    }
+    if (peer.open && hello > self_) {
+      // Simultaneous dial, and we are the lower rank: the connection
+      // *we* dialed is the deterministic winner on both ends (lower
+      // rank's dial wins). Dropping `conn` here is the loser's
+      // idempotent teardown — the higher rank sees EOF on a socket it
+      // has already abandoned for the same reason.
+      continue;
+    }
+    make_nonblocking_nodelay(conn);
+    // The incoming connection wins: the slot was dead, or the dialer is
+    // the lower rank. Frames queued for this peer are kept — the offset
+    // resets so a partially-written frame resends whole on the new
+    // socket (the receiver's decoder died with the loser), and the RB
+    // layer's frame dedup absorbs any frame that had already crossed.
+    std::deque<OutFrame> outq = std::move(peer.outq);
     peer = Peer{};
     peer.fd = std::move(conn);
     peer.open = true;
+    peer.outq = std::move(outq);
   }
 }
 
@@ -273,14 +386,25 @@ void TcpEnv::drain_cross_thread() {
 
 int TcpEnv::poll_timeout_ms() {
   if (!local_tasks_.empty()) return 0;  // ready work: don't sleep
-  // Otherwise the earliest live timer bounds the sleep (ms, rounded up).
-  const std::scoped_lock lock(mu_);
-  while (!timers_.empty() &&
-         !live_timers_.contains(timers_.top().id)) {
-    timers_.pop();  // lazily discard cancelled timers
+  // Otherwise the earliest live timer or parked fault frame bounds the
+  // sleep (ms, rounded up).
+  Duration until = -1;  // < 0: nothing pending
+  for (const HeldFrame& h : held_) {
+    const Duration d = h.release - now();
+    if (until < 0 || d < until) until = d;
   }
-  if (timers_.empty()) return 100;
-  const Duration until = timers_.top().deadline - now();
+  {
+    const std::scoped_lock lock(mu_);
+    while (!timers_.empty() &&
+           !live_timers_.contains(timers_.top().id)) {
+      timers_.pop();  // lazily discard cancelled timers
+    }
+    if (!timers_.empty()) {
+      const Duration d = timers_.top().deadline - now();
+      if (until < 0 || d < until) until = d;
+    }
+  }
+  if (until < 0) return 100;
   if (until <= 0) return 0;
   const auto ms = static_cast<int>((until + kMillisecond - 1) / kMillisecond);
   return std::min(ms, 100);
@@ -441,6 +565,9 @@ void TcpEnv::reactor_loop(const std::stop_token& st) {
     drain_cross_thread();
     run_ready_tasks();
     fire_due_timers();
+    // Parked fault frames whose delay or partition window elapsed enter
+    // the queues now, so they ride this cycle's flush.
+    release_due_held();
     // Idle work (underfull-batch flushes) goes right before the writev
     // flush: its output still rides this cycle's syscalls.
     run_idle_tasks();
@@ -502,6 +629,9 @@ TcpCluster::TcpCluster(std::uint32_t n, std::uint64_t seed)
     envs_[p]->frames_ctr_ = &frames_sent_;
     envs_[p]->writev_ctr_ = &writev_calls_;
     envs_[p]->wakeups_ctr_ = &wakeups_;
+    envs_[p]->dropped_fault_ctr_ = &dropped_fault_;
+    envs_[p]->duplicated_fault_ctr_ = &duplicated_fault_;
+    envs_[p]->delayed_fault_ctr_ = &delayed_fault_;
   }
 
   // Full mesh: p dials every q > p; the hello frame identifies the
@@ -516,10 +646,12 @@ TcpCluster::TcpCluster(std::uint32_t n, std::uint64_t seed)
   }
   for (ProcessId p = 1; p <= n; ++p) {
     for (ProcessId q = p + 1; q <= n; ++q) {
-      Fd dialer = connect_loopback(ports[q]);
-      const std::uint32_t hello = p;
-      IBC_REQUIRE(::write(dialer.get(), &hello, sizeof hello) ==
-                  sizeof hello);
+      DialResult dial = dial_loopback_hello(
+          ports[q], p,
+          std::chrono::steady_clock::now() + std::chrono::seconds(5));
+      IBC_REQUIRE_MSG(dial.fd.valid(),
+                      "initial mesh dial failed after bounded backoff");
+      Fd dialer = std::move(dial.fd);
       Fd accepted = accept_one(listeners[q]);
       std::uint32_t got = 0;
       IBC_REQUIRE(::read(accepted.get(), &got, sizeof got) == sizeof got);
@@ -660,10 +792,15 @@ void TcpCluster::restart(ProcessId p) {
     if (q == p || crashed(q)) continue;
     ++expected;
     run_on(q, [this, p, q, port = port] {
-      Fd dialer = connect_loopback(port);
-      const std::uint32_t hello = q;
-      IBC_REQUIRE(::write(dialer.get(), &hello, sizeof hello) ==
-                  sizeof hello);
+      // Bounded-backoff redial: several ranks restarting at once can
+      // race each other's listener setup, so a one-shot connect (and
+      // its assert) is the wrong tool here.
+      DialResult dial = dial_loopback_hello(
+          port, q,
+          std::chrono::steady_clock::now() + std::chrono::seconds(5));
+      IBC_REQUIRE_MSG(dial.fd.valid(),
+                      "mesh redial failed after bounded backoff");
+      Fd dialer = std::move(dial.fd);
       make_nonblocking_nodelay(dialer);
       TcpEnv::Peer& peer = envs_[q]->peers_[p];
       peer = TcpEnv::Peer{};  // drop any half-flushed pre-crash frame
@@ -757,12 +894,25 @@ void TcpCluster::close_link_for_test(ProcessId src, ProcessId dst) {
 }
 
 runtime::HostCounters TcpCluster::counters() const {
-  return runtime::HostCounters{
+  runtime::HostCounters counters{
       messages_sent_.load(std::memory_order_relaxed),
       wire_bytes_sent_.load(std::memory_order_relaxed),
       frames_sent_.load(std::memory_order_relaxed),
       writev_calls_.load(std::memory_order_relaxed),
       wakeups_.load(std::memory_order_relaxed)};
+  counters.dropped_fault = dropped_fault_.load(std::memory_order_relaxed);
+  counters.duplicated_fault =
+      duplicated_fault_.load(std::memory_order_relaxed);
+  counters.delayed_fault = delayed_fault_.load(std::memory_order_relaxed);
+  return counters;
+}
+
+void TcpCluster::set_fault_plan(const FaultPlan& plan) {
+  // Pre-start only (each env asserts its reactor is not running):
+  // windows are relative to origin 0, the cluster epoch.
+  for (ProcessId p = 1; p <= n(); ++p) {
+    envs_[p]->set_fault_plan(plan, 0);
+  }
 }
 
 }  // namespace ibc::net::tcp

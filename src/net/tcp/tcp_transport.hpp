@@ -44,8 +44,10 @@
 #include <unordered_set>
 #include <vector>
 
+#include "net/faults.hpp"
 #include "net/tcp/framing.hpp"
 #include "net/tcp/socket.hpp"
+#include "net/tcp/tcp_faults.hpp"
 #include "runtime/env.hpp"
 #include "runtime/host.hpp"
 #include "util/payload.hpp"
@@ -93,6 +95,14 @@ class TcpEnv final : public runtime::Env {
   /// Call before the reactor starts; the listener is owned from then on.
   void adopt_listener(Fd listener);
 
+  /// Installs the adversary fault program on this env's outbound links:
+  /// the same `net::FaultPlan` the simulator applies at the NIC exit
+  /// runs here at the writev boundary (see tcp_faults.hpp). Plan windows
+  /// are relative to `origin` (env time). An empty plan removes the
+  /// stage entirely — the clean send path is one null-pointer check.
+  /// Call before the reactor starts, or from the reactor thread.
+  void set_fault_plan(FaultPlan plan, TimePoint origin);
+
  private:
   friend class TcpCluster;
   friend class TcpProcess;
@@ -135,8 +145,17 @@ class TcpEnv final : public runtime::Env {
     return reactor_tid_.load(std::memory_order_relaxed) ==
            std::this_thread::get_id();
   }
-  /// Appends one frame to dst's output queue (reactor thread only).
+  /// Send-path entry (reactor thread only): consults the fault stage
+  /// when one is armed, else forwards straight to enqueue_frame_direct.
   void enqueue_frame(ProcessId dst, const Payload& msg);
+  /// Appends one frame to dst's output queue (reactor thread only).
+  void enqueue_frame_direct(ProcessId dst, const Payload& msg);
+  /// Applies the armed fault stage's verdict to one outbound frame:
+  /// forward, drop, or park in held_ (reactor thread only).
+  void fault_checkpoint(ProcessId dst, const Payload& msg);
+  /// Re-examines parked frames whose release time has passed: held
+  /// (partitioned) frames re-run the checkpoint, delayed frames enqueue.
+  void release_due_held();
   /// Moves cross-thread sends/tasks into reactor-local state. The lock
   /// is held only for the container swaps; all processing is lock-free.
   void drain_cross_thread();
@@ -166,6 +185,21 @@ class TcpEnv final : public runtime::Env {
   Fd wake_r_, wake_w_;
   Fd listener_;  // multi-process accept socket (invalid on TcpCluster)
 
+  /// One frame the fault stage parked. `recheck` distinguishes a
+  /// buffering-partition hold (the release re-runs the checkpoint —
+  /// another cut may be active by then) from a plain delay (enqueue on
+  /// release, no second look). Reactor thread only; parked frames die
+  /// with the incarnation, exactly as the simulator loses held messages
+  /// when their sender crashes before the heal.
+  struct HeldFrame {
+    TimePoint release = 0;
+    ProcessId dst = 0;
+    Payload msg;
+    bool recheck = false;
+  };
+  std::unique_ptr<LinkFaultStage> faults_;  // null = clean wire
+  std::deque<HeldFrame> held_;
+
   /// Deferred work owned by the reactor thread (fast-path defer and
   /// loopback sends land here without locking).
   std::vector<TimerFn> local_tasks_;
@@ -191,6 +225,9 @@ class TcpEnv final : public runtime::Env {
   std::atomic<std::uint64_t>* frames_ctr_ = nullptr;
   std::atomic<std::uint64_t>* writev_ctr_ = nullptr;
   std::atomic<std::uint64_t>* wakeups_ctr_ = nullptr;
+  std::atomic<std::uint64_t>* dropped_fault_ctr_ = nullptr;
+  std::atomic<std::uint64_t>* duplicated_fault_ctr_ = nullptr;
+  std::atomic<std::uint64_t>* delayed_fault_ctr_ = nullptr;
 
   // The reactor's thread id while the loop runs (default id otherwise).
   // Read by TcpCluster::run_on without touching thread_, which a
@@ -274,6 +311,12 @@ class TcpCluster final : public runtime::Host {
 
   runtime::HostCounters counters() const override;
 
+  /// Arms the same fault program on every process's outbound fault
+  /// stage, windows relative to the cluster epoch (construction time).
+  /// The plan survives kill/restart — a restarted incarnation rejoins
+  /// the same hostile wire, like the simulator. Call before start().
+  void set_fault_plan(const FaultPlan& plan);
+
   /// Test seam (tcp_test): writes raw bytes on the mesh socket
   /// src -> dst, on src's reactor thread so the write serializes with
   /// the writev flush. Lets tests split a frame — header included —
@@ -301,6 +344,9 @@ class TcpCluster final : public runtime::Host {
   std::atomic<std::uint64_t> frames_sent_{0};
   std::atomic<std::uint64_t> writev_calls_{0};
   std::atomic<std::uint64_t> wakeups_{0};
+  std::atomic<std::uint64_t> dropped_fault_{0};
+  std::atomic<std::uint64_t> duplicated_fault_{0};
+  std::atomic<std::uint64_t> delayed_fault_{0};
 
   // Pending crash_at watchdogs. Declared last: their jthread destructors
   // request stop and join before anything else is torn down.

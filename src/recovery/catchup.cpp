@@ -14,7 +14,9 @@ enum class Tag : std::uint8_t {
   kReqState = 1,    // u64 from_k
   kRespState = 2,   // u32 count | count × (u64 k | u32 m | m × id)
   kReqPayload = 3,  // u32 count | count × id
-  kRespPayload = 4  // u32 count | count × (id | u32 m | m × blob)
+  kRespPayload = 4, // u32 count | count × (id | u32 m | m × blob)
+  kReqPool = 5,     // (empty)
+  kRespPool = 6     // u8 authoritative+complete | RespPayload body
 };
 
 /// Instances per RespState; a shorter response means "that was all I
@@ -22,6 +24,10 @@ enum class Tag : std::uint8_t {
 constexpr std::uint32_t kMaxStatePerResp = 256;
 /// Ids per ReqPayload / RespPayload round.
 constexpr std::size_t kMaxPayloadReq = 128;
+/// Batches per RespPool. A truncated pool is served without the
+/// complete flag; the recovering side keeps polling, and the pool only
+/// shrinks as instances decide, so repeated polls converge.
+constexpr std::size_t kMaxPoolPerResp = 256;
 /// Poll cadence of a recovering process.
 constexpr Duration kPollInterval = milliseconds(25);
 
@@ -68,7 +74,12 @@ void CatchupLayer::poll() {
     for (const MessageId& id : missing) w.message_id(id);
     ctx_.send_to_others(w.view());
   }
-  if (!want_state && missing.empty()) {
+  if (!pool_synced_) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(Tag::kReqPool));
+    ctx_.send_to_others(w.view());
+  }
+  if (!want_state && pool_synced_ && missing.empty()) {
     if (++clean_polls_ >= 2) {
       done_ = true;
       ctx_.log().logf(LogLevel::kInfo, "catch-up: done (applied_k=%llu)",
@@ -95,6 +106,12 @@ void CatchupLayer::on_message(ProcessId from, Reader& r) {
       break;
     case Tag::kRespPayload:
       handle_resp_payload(r);
+      break;
+    case Tag::kReqPool:
+      handle_req_pool(from);
+      break;
+    case Tag::kRespPool:
+      handle_resp_pool(r);
       break;
   }
 }
@@ -165,7 +182,49 @@ void CatchupLayer::handle_req_payload(ProcessId from, Reader& r) {
 }
 
 void CatchupLayer::handle_resp_payload(Reader& r) {
+  feed_batches(r, r.u32());
+}
+
+void CatchupLayer::handle_req_pool(ProcessId from) {
+  // Serve the current undecided pool. A process that is itself still
+  // recovering serves what it has (every batch is valid data), but only
+  // a caught-up process's complete pool carries the flag that ends the
+  // requester's poll — an amnesiac pool is not evidence that nothing
+  // was lost.
+  const core::OrderingCore& core = abcast_.ordering();
+  const core::IdSet& pool = core.unordered();
+  Writer body;
+  std::uint32_t served = 0;
+  for (const MessageId& id : pool) {
+    if (served >= kMaxPoolPerResp) break;
+    const std::vector<Payload>* payloads = core.payloads_of(id);
+    if (payloads == nullptr) continue;  // delivered mid-iteration
+    ++served;
+    body.message_id(id);
+    body.u32(static_cast<std::uint32_t>(payloads->size()));
+    for (const Payload& p : *payloads) body.blob(p);
+  }
+  const bool complete = !recovering() && served == pool.size();
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(Tag::kRespPool));
+  w.u8(complete ? 1 : 0);
+  w.u32(served);
+  w.raw(body.view());
+  ctx_.send(from, w.view());
+}
+
+void CatchupLayer::handle_resp_pool(Reader& r) {
+  const bool complete = r.u8() != 0;
   const std::uint32_t count = r.u32();
+  feed_batches(r, count);
+  if (complete && !pool_synced_) {
+    pool_synced_ = true;
+    ctx_.log().logf(LogLevel::kInfo,
+                    "catch-up: pool re-flood synced (%u batches)", count);
+  }
+}
+
+void CatchupLayer::feed_batches(Reader& r, std::uint32_t count) {
   std::uint64_t fed = 0;
   for (std::uint32_t i = 0; i < count; ++i) {
     const MessageId id = r.message_id();

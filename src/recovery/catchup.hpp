@@ -8,8 +8,9 @@
 //
 //   ReqState{from_k}    ->  RespState{(k, appended-entries)...}
 //   ReqPayload{ids...}  ->  RespPayload{(id, payloads...)...}
+//   ReqPool{}           ->  RespPool{flag, (id, payloads...)...}
 //
-// Every recovery-enabled process serves both requests from its
+// Every recovery-enabled process serves these requests from its
 // `RecoveryManager` (decision history + payload archive, with the
 // ordering core's received set as a fallback). The recovering side
 // polls: a repeating timer re-requests until the decision gap is closed
@@ -20,6 +21,23 @@
 // fault plans. Decisions fetched here are the post-dedup appended
 // entries, applied in the same canonical order as at the serving peer,
 // so the total order is preserved (PROTOCOL.md D6).
+//
+// ReqPool re-floods the peer's *undecided* R-delivered batches. This is
+// what restores the reliable-broadcast completeness property that
+// restart amnesia breaks: RB relays fire once, on first receipt, so a
+// message flooded while this process was down is never re-sent to the
+// new incarnation — it would never re-enter this process's proposal
+// pool, and this process would never propose (and so never vote) in the
+// consensus instances trying to order it. With whole-round-coordinator
+// engines (CT's round-1 coordinator, MR's per-round coordinator) a live
+// process that never proposes in an instance silently wedges it: it is
+// never suspected and never abstains. Any relay dropped at the dead NIC
+// happened before this peer could serve catch-up, so the peer's
+// undecided pool (plus its decided history, served above) provably
+// covers the amnesia window. A RespPool flag marks the response
+// authoritative-and-complete: only such a response ends the pool poll,
+// so two concurrently recovering processes cannot satisfy each other
+// with their amnesiac pools.
 #pragma once
 
 #include <cstdint>
@@ -66,6 +84,10 @@ class CatchupLayer final : public runtime::Layer {
   void handle_resp_state(Reader& r);
   void handle_req_payload(ProcessId from, Reader& r);
   void handle_resp_payload(Reader& r);
+  void handle_req_pool(ProcessId from);
+  void handle_resp_pool(Reader& r);
+  /// Shared body decoder of RespPayload / RespPool entries.
+  void feed_batches(Reader& r, std::uint32_t count);
 
   RecoveryManager& manager_;
   core::AbcastIndirect& abcast_;
@@ -74,6 +96,8 @@ class CatchupLayer final : public runtime::Layer {
   bool done_ = false;
   /// A peer answered ReqState exhaustively (short response).
   bool state_synced_ = false;
+  /// A non-recovering peer served its complete undecided pool.
+  bool pool_synced_ = false;
   /// Consecutive polls with nothing left to ask for; two in a row end
   /// the poll loop.
   std::uint32_t clean_polls_ = 0;

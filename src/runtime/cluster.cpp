@@ -33,10 +33,17 @@ Cluster::Cluster(const ClusterOptions& options)
       recovery_enabled_(options.recovery_enabled),
       recovery_config_(options.recovery) {
   if (!options.faults.empty()) {
-    net::SimNetwork* net = host_->sim_network();
-    IBC_REQUIRE_MSG(net != nullptr,
-                    "fault plans need the simulated host (kSim)");
-    net->set_fault_plan(options.faults);
+    // Same FaultPlan, two enforcement points: the simulator applies it
+    // at the NIC exit, the TCP host at the writev boundary of each
+    // reactor (pre-start here, so no cross-thread handoff is needed).
+    if (net::SimNetwork* net = host_->sim_network(); net != nullptr) {
+      net->set_fault_plan(options.faults);
+    } else {
+      auto* tcp = dynamic_cast<net::tcp::TcpCluster*>(host_.get());
+      IBC_REQUIRE_MSG(tcp != nullptr,
+                      "fault plans need a kSim or kTcp cluster host");
+      tcp->set_fault_plan(options.faults);
+    }
   }
   logs_.resize(options.n + 1);
   retired_recovery_.resize(options.n + 1);

@@ -81,8 +81,11 @@ struct ClusterOptions {
   /// crashed processes back. Indirect-variant stacks only.
   bool recovery_enabled = false;
   recovery::Config recovery;
-  /// Hostile-network schedule (kSim only): partitions, delays,
-  /// drop/duplicate/reorder bursts composed with the crash schedule.
+  /// Hostile-network schedule: partitions, delays, drop/duplicate/
+  /// reorder bursts composed with the crash schedule. On kSim the plan
+  /// applies at the simulated NIC; on kTcp at the real transport's
+  /// writev boundary (frame-granular, windows relative to the cluster
+  /// epoch). Same plan text, both hosts.
   net::FaultPlan faults;
   /// Record every A-delivery (id, payload, time) in the cluster's
   /// per-process logs. On by default — it powers `log`, `delivered`,
@@ -228,7 +231,8 @@ struct ClusterStats {
   std::uint64_t writev_calls = 0;        // flush syscalls issued
   std::uint64_t wakeups = 0;             // wake-pipe writes (cross-thread)
   double frames_per_writev_avg = 0.0;    // frames flushed / writev calls
-  // Fault accounting (sim host only): crash losses vs adversary action.
+  // Fault accounting (both hosts; dropped_crash is sim-only — a dead
+  // TCP peer is just a closed socket).
   std::uint64_t dropped_crash = 0;       // messages lost to crashes
   std::uint64_t dropped_fault = 0;       // discarded by the fault plan
   std::uint64_t duplicated_fault = 0;    // extra copies injected

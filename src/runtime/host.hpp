@@ -46,7 +46,10 @@ struct HostCounters {
   std::uint64_t frames_sent = 0;       // frames fully written to a socket
   std::uint64_t writev_calls = 0;      // flush syscalls issued
   std::uint64_t wakeups = 0;           // wake-pipe writes (cross-thread)
-  // Fault accounting (sim host only; TCP has no adversary layer).
+  // Fault accounting. The simulator counts at the NIC exit, the TCP
+  // host at its writev-boundary fault stage; dropped_crash (messages
+  // addressed to an already-dead process) is sim-only — on TCP a dead
+  // peer is just a closed socket.
   std::uint64_t dropped_crash = 0;     // messages lost to process crashes
   std::uint64_t dropped_fault = 0;     // discarded by the fault plan
   std::uint64_t duplicated_fault = 0;  // extra copies the adversary made

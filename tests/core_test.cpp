@@ -84,7 +84,7 @@ TEST(IdSet, ToStringReadable) {
 // --------------------------------------------------------- OrderingCore
 
 struct OrderingFixture {
-  OrderingFixture()
+  explicit OrderingFixture(std::uint32_t window = 1)
       : core(OrderingCore::Callbacks{
             .start_instance =
                 [this](consensus::InstanceId k, const IdSet& v) {
@@ -94,7 +94,7 @@ struct OrderingFixture {
                 [this](const MessageId& id, BytesView) {
                   delivered.push_back(id);
                 },
-        }) {}
+        }, window) {}
 
   OrderingCore core;
   std::vector<std::pair<consensus::InstanceId, IdSet>> proposals;
@@ -196,6 +196,43 @@ TEST(OrderingCore, DuplicateRdeliverIgnored) {
   f.core.on_rdeliver({1, 1}, bytes_of("a"));
   EXPECT_EQ(f.proposals.size(), 1u);
   EXPECT_EQ(f.proposals[0].second.size(), 1u);
+}
+
+TEST(OrderingCore, AllocatorFillsLowestHoleSkippingPendingAndInflight) {
+  OrderingFixture f(/*window=*/2);
+  f.core.on_rdeliver({1, 1}, bytes_of("a"));  // opens instance 1
+  f.core.on_rdeliver({2, 1}, bytes_of("b"));  // opens instance 2
+  f.core.on_rdeliver({3, 1}, bytes_of("c"));  // window full: pooled
+  ASSERT_EQ(f.proposals.size(), 2u);
+  // Instance 3's decision arrives early (another process grouped 4:1
+  // there); it buffers — applying it must wait for 1 and 2.
+  f.core.on_decision(3, IdSet::from_unsorted({{4, 1}}));
+  EXPECT_EQ(f.proposals.size(), 2u);  // window still full, no new open
+  // Instance 1 decides: the freed slot must go to the lowest number
+  // this process has not touched — 2 is in flight, 3 has a buffered
+  // decision, so 4.
+  f.core.on_decision(1, IdSet::from_unsorted({{1, 1}}));
+  ASSERT_EQ(f.proposals.size(), 3u);
+  EXPECT_EQ(f.proposals[2].first, 4u);
+  EXPECT_EQ(f.proposals[2].second, IdSet::from_unsorted({{3, 1}}));
+}
+
+TEST(OrderingCore, RestoredFloorNeverReopenedAtOrBelow) {
+  OrderingFixture f;
+  // Pre-crash this process opened up to instance 5 but only saw
+  // decisions through 3 applied; the old incarnation may have voted in
+  // 4 and 5, so the restart must not propose there again (D6).
+  OrderingCore::Restored state;
+  state.applied_k = 3;
+  state.opened_k = 5;
+  f.core.restore(std::move(state));
+  f.core.on_rdeliver({1, 9}, bytes_of("x"));
+  ASSERT_EQ(f.proposals.size(), 1u);
+  EXPECT_EQ(f.proposals[0].first, 6u);
+  // Decisions for the floor instances still apply normally.
+  f.core.on_decision(4, IdSet{});
+  f.core.on_decision(5, IdSet{});
+  EXPECT_EQ(f.core.instances_completed(), 5u);
 }
 
 // ------------------------------------------- indirect consensus adapters

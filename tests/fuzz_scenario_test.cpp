@@ -101,6 +101,62 @@ TEST(FuzzOracle, LossyPlanChecksSafetyOnlyAndCountsFaultDrops) {
   EXPECT_EQ(result.stats.dropped_crash, 0u);
 }
 
+/// Tier-1 smoke of the TCP-host scenario mode: one fixed faulted
+/// schedule — a healing partition plus an asymmetric link delay — runs
+/// against real loopback sockets on every push. Lossless plan, so the
+/// full oracle arms: safety always, liveness within the wall-clock
+/// quiesce bound after the heal. The nightly job sweeps hundreds of
+/// generated schedules through the same path with --tcp --safety-only.
+TEST(FuzzTcpHost, FixedFaultedScheduleHoldsOnRealSockets) {
+  Scenario s;
+  s.seed = 7;
+  s.stack = 0;  // the paper's indirect-CT + RB-flood stack
+  s.n = 3;
+  s.pipeline = 8;
+  s.msgs_per_sender = 8;
+  s.traffic_window_ms = 150;
+  s.host = runtime::HostKind::kTcp;
+  net::FaultEvent cut;
+  cut.kind = net::FaultKind::kPartition;
+  cut.from = milliseconds(30);
+  cut.until = milliseconds(250);
+  cut.group = 1u << 0;  // process 1 vs the rest
+  s.faults.events.push_back(cut);
+  net::FaultEvent delay;
+  delay.kind = net::FaultKind::kDelay;
+  delay.from = 0;
+  delay.until = milliseconds(300);
+  delay.src = 2;
+  delay.dst = 3;
+  delay.extra = milliseconds(5);
+  s.faults.events.push_back(delay);
+
+  const RunResult result = run_scenario(s);
+  ASSERT_TRUE(result.ok()) << violations_text(result) << repro(s);
+  // The writev-boundary fault stage really fired: partition holds and
+  // link delays are both accounted as delayed frames.
+  EXPECT_GT(result.stats.delayed_fault, 0u);
+}
+
+TEST(FuzzTcpHost, HostKeyRoundTripsAndStaysOffSimRepros) {
+  // A kTcp scenario carries its host across the text round-trip...
+  Scenario s = generate_scenario(5);
+  s.host = runtime::HostKind::kTcp;
+  const std::string text = to_text(s);
+  EXPECT_NE(text.find("host tcp"), std::string::npos);
+  const std::optional<Scenario> back = parse_scenario(text);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->host, runtime::HostKind::kTcp);
+
+  // ...while sim scenarios serialize without the key at all, so repro
+  // files written before the key existed stay byte-identical.
+  const Scenario sim = generate_scenario(5);
+  EXPECT_EQ(to_text(sim).find("host"), std::string::npos);
+  const std::optional<Scenario> sim_back = parse_scenario(to_text(sim));
+  ASSERT_TRUE(sim_back.has_value());
+  EXPECT_EQ(sim_back->host, runtime::HostKind::kSim);
+}
+
 TEST(FuzzOracle, ScenarioTextRoundTrips) {
   for (std::uint64_t seed = 1; seed <= 40; ++seed) {
     const Scenario s = generate_scenario(seed);

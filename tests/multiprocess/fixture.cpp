@@ -10,6 +10,7 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 #include <thread>
 
 #include "net/tcp/tcp_process.hpp"
@@ -74,6 +75,13 @@ void MultiprocessTest::spawn_rank(ProcessId rank, const IbcdOptions& opts) {
   if (!opts.tag.empty()) {
     args.push_back("--tag");
     args.push_back(opts.tag);
+  }
+  if (!opts.fault_plan.empty()) {
+    // Publish once (atomic rename); every rank reads the same plan file
+    // and arms it against its own clock at the ready barrier.
+    net::tcp::publish_file(scratch_, "fault-plan.txt", opts.fault_plan);
+    args.push_back("--fault-plan");
+    args.push_back(scratch_ + "/fault-plan.txt");
   }
 
   const pid_t pid = ::fork();
@@ -164,6 +172,16 @@ std::vector<std::string> MultiprocessTest::deliveries(
   std::string line;
   while (std::getline(in, line)) lines.push_back(line);
   return lines;
+}
+
+std::string MultiprocessTest::rank_log(ProcessId rank,
+                                       int incarnation) const {
+  const std::string path = scratch_ + "/log." + std::to_string(rank) + "." +
+                           std::to_string(incarnation);
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
 }
 
 bool MultiprocessTest::wait_until(const std::function<bool()>& pred,

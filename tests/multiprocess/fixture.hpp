@@ -54,6 +54,12 @@ struct IbcdOptions {
   std::uint64_t seed = 1;
   std::string tag;         // embedded in payloads ("r3.<tag>.m7"); lets a
                            // test tell one incarnation's sends from another's
+  /// Fault-plan text (net::to_text format). When non-empty the fixture
+  /// publishes it into the scratch dir and passes --fault-plan, so the
+  /// rank arms it at the ready barrier (windows relative to that
+  /// moment, per rank). Same text across ranks = the whole group under
+  /// one adversary.
+  std::string fault_plan;
 };
 
 class MultiprocessTest : public ::testing::Test {
@@ -88,6 +94,11 @@ class MultiprocessTest : public ::testing::Test {
   /// Lines of `deliveries.<rank>.<incarnation>` (empty if absent yet).
   std::vector<std::string> deliveries(ProcessId rank,
                                       int incarnation = 0) const;
+
+  /// Whole captured stdout+stderr of `log.<rank>.<incarnation>` (empty
+  /// if absent). Lets tests assert on the daemon's own diagnostics —
+  /// e.g. that a relaunch needed bounded-backoff redial attempts.
+  std::string rank_log(ProcessId rank, int incarnation = 0) const;
 
   /// Polls `pred` every few milliseconds until it holds; false on
   /// timeout.

@@ -426,6 +426,41 @@ TEST(FaultPlan, TextRoundTrip) {
   EXPECT_FALSE(parse_fault_event("").has_value());
 }
 
+TEST(FaultPlan, WholePlanParsesWithCommentsAndBlanks) {
+  // The file format ibcd --fault-plan consumes: one event per line,
+  // comments and blank lines allowed anywhere.
+  FaultPlan plan;
+  plan.events.push_back(make_fault(FaultKind::kPartition, 0,
+                                   milliseconds(10)));
+  plan.events.back().group = 0b001;
+  plan.events.push_back(make_fault(FaultKind::kDelay, 5, seconds(1)));
+  plan.events.back().src = 2;
+  plan.events.back().extra = microseconds(300);
+
+  const std::string text = "# adversary for the smoke run\n\n" +
+                           to_text(plan.events[0]) + "\n" +
+                           "  \t  \n"
+                           "   # indented comment\n" +
+                           to_text(plan.events[1]) + "\n";
+  const std::optional<FaultPlan> back = parse_fault_plan(text);
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->events.size(), plan.events.size());
+  for (std::size_t i = 0; i < plan.events.size(); ++i) {
+    EXPECT_EQ(to_text(back->events[i]), to_text(plan.events[i]));
+  }
+
+  // An empty (or comment-only) file is a valid empty plan...
+  ASSERT_TRUE(parse_fault_plan("").has_value());
+  const std::optional<FaultPlan> comments_only =
+      parse_fault_plan("# nothing\n\n");
+  ASSERT_TRUE(comments_only.has_value());
+  EXPECT_TRUE(comments_only->empty());
+  // ...but one malformed line poisons the whole plan: ibcd must refuse
+  // a half-parsed adversary rather than arm part of it.
+  EXPECT_FALSE(parse_fault_plan(to_text(plan.events[0]) + "\nbogus line\n")
+                   .has_value());
+}
+
 TEST(FaultPlan, LosslessAndQuietAfter) {
   FaultPlan plan;
   EXPECT_TRUE(plan.lossless());

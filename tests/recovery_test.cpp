@@ -185,6 +185,46 @@ TEST(Recovery, SimRestartWithEmptyLogIsFirstBootPlusCatchup) {
   expect_full_recovery(cluster, 3);
 }
 
+TEST(Recovery, PoolReFloodRevivesIdsFloodedDuringDowntime) {
+  // The silent-round-1-coordinator wedge (docs/TESTING.md "known
+  // liveness trap"): coord_of is round-based, so one process (p2 for
+  // n=3) is every instance's round-1 coordinator. Ids flooded while p2
+  // is down die at its dead socket and are never re-relayed; if p2
+  // restarts before the failure detector suspects it, the survivors
+  // propose those ids in instances whose round-1 coordinator — p2,
+  // alive, pool empty — never proposes, never acts, and is never
+  // suspected: zero traffic forever. The catch-up pool re-flood
+  // (ReqPool/RespPool) must hand the restarted incarnation the
+  // survivors' undecided pool so it proposes and coordinates.
+  SCOPED_TRACE(test::repro_hint(21));
+  Cluster cluster(ClusterOptions{}
+                      .with_n(3)
+                      .with_seed(21)
+                      .with_stack(recovery_stack())
+                      .with_recovery()
+                      .with_crash(milliseconds(100), 2)
+                      .with_restart(milliseconds(140), 2));
+  // Pre-crash load, then two broadcasts inside the 40ms downtime window
+  // — far shorter than the 200ms suspicion timeout, so p2 is never
+  // suspected and round 1 never times out.
+  drive_load(cluster, /*rounds=*/5, milliseconds(10));
+  cluster.run_for(milliseconds(60));  // ~110ms: p2 is down
+  cluster.node(1).abroadcast("flooded-while-down");
+  cluster.node(3).abroadcast("also-flooded-while-down");
+  cluster.run_until_quiesced(milliseconds(400), seconds(30));
+
+  expect_full_recovery(cluster, 2);
+  // Identical logs are not enough — a cluster-wide wedge loses the
+  // downtime broadcasts from *every* log. Assert they were delivered.
+  std::set<std::string> texts;
+  for (const Cluster::Delivery& d : cluster.log(2)) {
+    texts.insert(std::string(
+        reinterpret_cast<const char*>(d.payload.data()), d.payload.size()));
+  }
+  EXPECT_TRUE(texts.contains("flooded-while-down"));
+  EXPECT_TRUE(texts.contains("also-flooded-while-down"));
+}
+
 TEST(Recovery, SimDoubleRestart) {
   SCOPED_TRACE(test::repro_hint(15));
   Cluster cluster(ClusterOptions{}

@@ -22,6 +22,12 @@
 // Usage (the multiprocess fixture is the canonical driver):
 //   ibcd --rank 2 --n 3 --dir /tmp/mp.x --store /tmp/mp.x/store.2
 //        --send 30 --interval-ms 2 [--seed 1] [--payload-bytes 16]
+//        [--fault-plan /tmp/mp.x/faults.txt]
+//
+// --fault-plan points at a `net::FaultPlan` text file (one event per
+// line, `#` comments allowed — see docs/TESTING.md for the format). The
+// plan is armed on this rank's outbound links as it passes the ready
+// barrier; window times are relative to that moment, per rank.
 //
 // Exit codes: 0 clean stop, 2 usage error, 3 timed out waiting (peers,
 // barrier, or stop file).
@@ -29,19 +35,24 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 
 #include "abcast/stack_builder.hpp"
+#include "net/faults.hpp"
 #include "net/tcp/socket.hpp"
 #include "net/tcp/tcp_process.hpp"
 #include "recovery/recovery.hpp"
 #include "store/storage.hpp"
+#include "util/rng.hpp"
 #include "util/types.hpp"
 
 namespace {
@@ -64,6 +75,7 @@ struct Options {
   int timeout_s = 120;
   std::uint32_t pipeline = 8;
   std::string tag;  // embedded in payloads; lets tests tell incarnations apart
+  std::string fault_plan;  // path to a FaultPlan text file; empty = clean wire
 };
 
 int usage(const char* argv0) {
@@ -72,7 +84,8 @@ int usage(const char* argv0) {
                "          [--seed S] [--send K] [--interval-ms MS]\n"
                "          [--payload-bytes B] [--hb-interval-ms MS]\n"
                "          [--hb-timeout-ms MS] [--quiesce-ms MS]\n"
-               "          [--timeout-s S] [--pipeline W] [--tag T]\n",
+               "          [--timeout-s S] [--pipeline W] [--tag T]\n"
+               "          [--fault-plan FILE]\n",
                argv0);
   return 2;
 }
@@ -96,25 +109,57 @@ bool parse(int argc, char** argv, Options& opt) {
     else if (key == "--pipeline")
       opt.pipeline = static_cast<std::uint32_t>(std::stoul(val));
     else if (key == "--tag") opt.tag = val;
+    else if (key == "--fault-plan") opt.fault_plan = val;
     else return false;
   }
   return opt.rank >= 1 && opt.n >= 1 && opt.rank <= opt.n &&
          !opt.dir.empty() && !opt.store.empty();
 }
 
-/// Dials `port` with retries until `deadline`, sending the hello rank.
-/// Invalid Fd when the peer never answered (it is dead or never came up).
-Fd dial_peer(ProcessId self, std::uint16_t port,
-             std::chrono::steady_clock::time_point deadline) {
+struct DialOutcome {
+  Fd fd;
+  int attempts = 0;
+};
+
+/// Dials rank `q` with capped exponential backoff (2 ms doubling to
+/// 250 ms, jittered) until `deadline`, re-reading `port.<q>` every
+/// attempt: after a storm of concurrent relaunches each rank's first
+/// reads see its peers' *stale* ports (dead listeners that refuse
+/// forever), so a fixed-port retry loop could never converge. The
+/// attempt count comes back for the caller's diagnostics either way.
+DialOutcome dial_peer(const Options& opt, ProcessId q,
+                      std::chrono::steady_clock::time_point deadline) {
+  DialOutcome out;
+  std::uint64_t jitter_state =
+      (static_cast<std::uint64_t>(opt.rank) << 32) ^
+      static_cast<std::uint64_t>(q) ^
+      static_cast<std::uint64_t>(
+          std::chrono::steady_clock::now().time_since_epoch().count());
+  std::int64_t backoff_us = 2000;
   while (true) {
-    Fd fd = try_connect_loopback(port);
-    if (fd.valid()) {
-      const std::uint32_t hello = self;
-      if (::write(fd.get(), &hello, sizeof hello) == sizeof hello) return fd;
-      fd.reset();
+    ++out.attempts;
+    if (const auto port = read_port(opt.dir, q)) {
+      Fd fd = try_connect_loopback(*port);
+      if (fd.valid()) {
+        const std::uint32_t hello = opt.rank;
+        if (::write(fd.get(), &hello, sizeof hello) == sizeof hello) {
+          std::fprintf(stderr,
+                       "ibcd: rank %u connected to rank %u on port %u "
+                       "after %d attempt(s)\n",
+                       opt.rank, q, *port, out.attempts);
+          out.fd = std::move(fd);
+          return out;
+        }
+        fd.reset();  // reset between connect and hello: keep retrying
+      }
     }
-    if (std::chrono::steady_clock::now() >= deadline) return Fd{};
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (std::chrono::steady_clock::now() >= deadline) return out;
+    const std::int64_t jitter =
+        static_cast<std::int64_t>(splitmix64(jitter_state) %
+                                  static_cast<std::uint64_t>(backoff_us)) -
+        backoff_us / 2;
+    std::this_thread::sleep_for(std::chrono::microseconds(backoff_us + jitter));
+    backoff_us = std::min<std::int64_t>(backoff_us * 2, 250'000);
   }
 }
 
@@ -148,6 +193,27 @@ int main(int argc, char** argv) {
   std::fprintf(stderr, "ibcd: %s\n", cmdline.c_str());
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::seconds(opt.timeout_s);
+
+  // Load the adversary program up front: a malformed plan is a usage
+  // error, caught before any peer starts waiting on this rank.
+  net::FaultPlan fault_plan;
+  if (!opt.fault_plan.empty()) {
+    std::ifstream in(opt.fault_plan);
+    std::stringstream text;
+    text << in.rdbuf();
+    if (!in.good() && !in.eof()) {
+      std::fprintf(stderr, "ibcd: cannot read fault plan %s\n",
+                   opt.fault_plan.c_str());
+      return 2;
+    }
+    const auto parsed = net::parse_fault_plan(text.str());
+    if (!parsed) {
+      std::fprintf(stderr, "ibcd: malformed fault plan %s\n",
+                   opt.fault_plan.c_str());
+      return 2;
+    }
+    fault_plan = *parsed;
+  }
 
   TcpProcess host(opt.rank, opt.n, opt.seed);
   const std::uint16_t port = host.bind_listener();
@@ -212,25 +278,30 @@ int main(int argc, char** argv) {
   // a majority).
   if (!restarted) {
     for (ProcessId q = 1; q < opt.rank; ++q) {
-      Fd fd = dial_peer(opt.rank, ports[q], deadline);
-      if (!fd.valid()) {
-        std::fprintf(stderr, "ibcd: rank %u cannot reach rank %u\n",
-                     opt.rank, q);
+      DialOutcome dial = dial_peer(opt, q, deadline);
+      if (!dial.fd.valid()) {
+        std::fprintf(stderr,
+                     "ibcd: rank %u failed to reach rank %u after %d "
+                     "bounded-backoff attempt(s)\n",
+                     opt.rank, q, dial.attempts);
         return 3;
       }
-      host.connect_peer(q, std::move(fd));
+      host.connect_peer(q, std::move(dial.fd));
     }
   } else {
     for (ProcessId q = 1; q <= opt.n; ++q) {
       if (q == opt.rank) continue;
       const auto dial_deadline = std::chrono::steady_clock::now() +
                                  std::chrono::milliseconds(3000);
-      Fd fd = dial_peer(opt.rank, ports[q],
-                        std::min(deadline, dial_deadline));
-      if (fd.valid()) host.connect_peer(q, std::move(fd));
-      else
-        std::fprintf(stderr, "ibcd: rank %u skipping dead rank %u\n",
-                     opt.rank, q);
+      DialOutcome dial = dial_peer(opt, q, std::min(deadline, dial_deadline));
+      if (dial.fd.valid()) {
+        host.connect_peer(q, std::move(dial.fd));
+      } else {
+        std::fprintf(stderr,
+                     "ibcd: rank %u skipping dead rank %u after %d "
+                     "attempt(s)\n",
+                     opt.rank, q, dial.attempts);
+      }
     }
   }
 
@@ -250,6 +321,16 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "ibcd: rank %u timed out at the ready barrier\n",
                  opt.rank);
     return 3;
+  }
+
+  // Armed at the barrier, not at boot: every rank's fault windows open
+  // at (roughly) the same moment, and the mesh wiring itself is never
+  // faulted — the adversary attacks a standing group, as in the paper's
+  // model, not the bootstrap.
+  if (!fault_plan.empty()) {
+    host.arm_fault_plan(fault_plan);
+    std::fprintf(stderr, "ibcd: rank %u armed fault plan (%zu events)\n",
+                 opt.rank, fault_plan.events.size());
   }
 
   for (int i = 1; i <= opt.send; ++i) {
